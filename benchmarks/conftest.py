@@ -1,0 +1,20 @@
+"""Benchmark harness configuration.
+
+Every paper table/figure has one benchmark that (a) regenerates the
+result through the experiment harness, (b) prints the paper-vs-measured
+rows, and (c) asserts the reproduction stays within tolerance. Experiment
+runs are deterministic, so a single round suffices; pytest-benchmark
+records the wall time of the regeneration itself.
+"""
+
+import sys
+from pathlib import Path
+
+SRC = str(Path(__file__).parent.parent / "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run *fn* exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,70 @@
+"""Benchmarks for the beyond-the-paper experiments."""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import admission_sweep, jitter_comparison, stream_scaling
+
+
+def test_ext_stream_scaling(benchmark):
+    result = run_once(benchmark, stream_scaling)
+    print()
+    print(result.render())
+    # fairness holds out to 32 streams; decision cost grows monotonically
+    for n in (2, 4, 8, 16, 32):
+        assert result.row(f"Jain fairness index (n={n})").measured > 0.97
+    costs = [
+        result.row(f"per-frame scheduling time (n={n})").measured
+        for n in (2, 4, 8, 16, 32)
+    ]
+    assert costs == sorted(costs)
+
+
+def test_ext_jitter_comparison(benchmark):
+    result = run_once(benchmark, jitter_comparison)
+    print()
+    print(result.render())
+    ratio = result.row("jitter ratio (host/ni)").measured
+    assert ratio >= 1.0  # NI no worse; typically much better under load
+
+
+def test_ext_admission_sweep(benchmark):
+    result = run_once(benchmark, admission_sweep)
+    print()
+    print(result.render())
+    assert result.row("admitted streams (1/2-loss 30fps)").measured > result.row(
+        "admitted streams (zero-loss 30fps)"
+    ).measured
+
+
+def test_ext_ni_balance(benchmark):
+    from repro.experiments import ni_balance
+
+    result = run_once(benchmark, ni_balance)
+    print()
+    print(result.render())
+    one = result.row("delivered, 1 scheduler NI (n=32)").measured
+    two = result.row("delivered, 2 scheduler NIs (n=32)").measured
+    assert two > 1.6 * one
+
+
+def test_sens_cost_sensitivity(benchmark):
+    from repro.experiments import cost_sensitivity
+
+    result = run_once(benchmark, cost_sensitivity)
+    print()
+    print(result.render())
+    base = result.row("baseline avg frame (fixed, cache off)").measured
+    untouched = result.row("fixed-point cell under x1.5 fp_emulation_cycles").measured
+    assert untouched == pytest.approx(base, abs=0.01)
+
+
+def test_sens_mechanism_knockouts(benchmark):
+    from repro.experiments import mechanism_knockouts
+
+    result = run_once(benchmark, mechanism_knockouts)
+    print()
+    print(result.render())
+    full = result.row("full model (both mechanisms)").measured
+    fresh = result.row("priority decay knocked out").measured
+    assert full < 0.75 * fresh

@@ -1,0 +1,74 @@
+"""Benchmarks regenerating Figures 6-10 (full 100-simulated-second runs).
+
+Absolute-number tolerances here are looser than the tables': the figures
+measure emergent whole-system behaviour (starvation, drops, backlogs), and
+the paper itself reads them qualitatively. Each benchmark asserts the
+*shape* the paper claims — orderings, immunity, growth — plus a generous
+band around the headline settling values.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import figure6, figure7, figure8, figure9, figure10
+
+
+def test_figure6_cpu_utilization(benchmark):
+    result = run_once(benchmark, figure6)
+    print()
+    print(result.render())
+    avg = {lvl: result.row(f"average utilization ({lvl})").measured
+           for lvl in ("none", "45%", "60%")}
+    # paper's levels: ~15 / 45 / 60 average
+    assert avg["none"] == pytest.approx(15.0, abs=5.0)
+    assert avg["45%"] == pytest.approx(45.0, abs=8.0)
+    assert avg["60%"] == pytest.approx(60.0, abs=10.0)
+    assert avg["none"] < avg["45%"] < avg["60%"]
+    # no-load peak ~35%
+    assert result.row("peak utilization (none)").measured == pytest.approx(35.0, abs=8.0)
+
+
+def test_figure7_host_bandwidth_degradation(benchmark):
+    result = run_once(benchmark, figure7)
+    print()
+    print(result.render())
+    bw = {lvl: result.row(f"settling bandwidth s1 ({lvl})").measured
+          for lvl in ("none", "45%", "60%")}
+    # paper: ~250k / ~230k / <=125k (about half)
+    assert bw["none"] == pytest.approx(250_000.0, rel=0.10)
+    assert bw["45%"] == pytest.approx(230_000.0, rel=0.15)
+    assert bw["60%"] < 0.72 * bw["none"]  # severe degradation
+    assert bw["60%"] < bw["45%"] < bw["none"] * 1.02
+
+
+def test_figure8_host_queuing_delay_growth(benchmark):
+    result = run_once(benchmark, figure8)
+    print()
+    print(result.render())
+    d = {lvl: result.row(f"max queuing delay s1 ({lvl})").measured
+         for lvl in ("none", "45%", "60%")}
+    # paper: ~10s no load, up to 3x (30s) at 60%
+    assert d["none"] == pytest.approx(10_000.0, rel=0.30)
+    assert d["60%"] > 1.8 * d["none"]
+
+
+def test_figure9_ni_bandwidth_immunity(benchmark):
+    result = run_once(benchmark, figure9)
+    print()
+    print(result.render())
+    ratio = result.row("loaded/unloaded bandwidth ratio").measured
+    assert ratio == pytest.approx(1.0, abs=0.05)
+    loaded = result.row("settling bandwidth s1 (60% load)").measured
+    # paper: ~260k settling (vs 250k for the unloaded host scheduler)
+    assert loaded == pytest.approx(260_000.0, rel=0.10)
+
+
+def test_figure10_ni_delay_immunity(benchmark):
+    result = run_once(benchmark, figure10)
+    print()
+    print(result.render())
+    loaded = result.row("max queuing delay s1 (60% load)").measured
+    base = result.row("max queuing delay s1 (no load)").measured
+    # paper: ~11,000 ms maximum, load-independent
+    assert loaded == pytest.approx(11_000.0, rel=0.20)
+    assert loaded == pytest.approx(base, rel=0.10)

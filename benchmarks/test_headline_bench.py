@@ -1,0 +1,18 @@
+"""Benchmark regenerating the headline overhead comparison."""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import headline
+
+
+def test_headline_scheduling_overhead(benchmark):
+    result = run_once(benchmark, headline)
+    print()
+    print(result.render())
+    ni = result.row("i960 RD (66 MHz) scheduling overhead").measured
+    host = result.row("UltraSPARC (300 MHz) host scheduling overhead").measured
+    assert ni == pytest.approx(65.0, abs=8.0)
+    assert host == pytest.approx(50.0, abs=8.0)
+    # "comparable, although the i960 RD is a much slower processor"
+    assert ni / host < 2.0

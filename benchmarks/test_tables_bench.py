@@ -1,0 +1,39 @@
+"""Benchmarks regenerating Tables 1-5."""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import table1, table2, table3, table4, table5
+
+
+def _check(result, rel):
+    print()
+    print(result.render())
+    for row in result.rows:
+        if row.paper is not None:
+            assert row.measured == pytest.approx(row.paper, rel=rel), row.label
+
+
+def test_table1_microbench_cache_disabled(benchmark):
+    result = run_once(benchmark, table1)
+    _check(result, rel=0.10)
+
+
+def test_table2_microbench_cache_enabled(benchmark):
+    result = run_once(benchmark, table2)
+    _check(result, rel=0.10)
+
+
+def test_table3_hardware_queues(benchmark):
+    result = run_once(benchmark, table3)
+    _check(result, rel=0.10)
+
+
+def test_table4_critical_paths(benchmark):
+    result = run_once(benchmark, table4)
+    _check(result, rel=0.20)
+
+
+def test_table5_pci_transfers(benchmark):
+    result = run_once(benchmark, table5)
+    _check(result, rel=0.05)

@@ -1,0 +1,12 @@
+"""Make ``src/`` importable when the package is not pip-installed.
+
+The environment has no network and no ``wheel`` package, so PEP 660 editable
+installs fail; this keeps ``pytest`` self-contained either way.
+"""
+
+import sys
+from pathlib import Path
+
+SRC = str(Path(__file__).parent / "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)

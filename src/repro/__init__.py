@@ -1,0 +1,30 @@
+"""repro — full-system reproduction of "A Network Co-Processor-Based
+Approach to Scalable Media Streaming in Servers" (ICPP 2000).
+
+Subpackages
+-----------
+``repro.sim``
+    Deterministic discrete-event simulation kernel (µs time base).
+``repro.fixedpoint``
+    Fraction/Q16.16 arithmetic and the op-counting contexts.
+``repro.hw``
+    The 1999 platform: i960 RD I2O cards, PCI, SCSI disks, filesystems,
+    switched 100 Mbps Ethernet, CPU cycle-cost models.
+``repro.rtos``
+    VxWorks 'wind' and Solaris-like time-sharing OS models.
+``repro.dvcm``
+    The Distributed Virtual Communication Machine (host API, NI runtime,
+    loadable extensions).
+``repro.core``
+    The contribution: the DWCS media scheduler and its embedded builds.
+``repro.media`` / ``repro.server`` / ``repro.workload`` / ``repro.metrics``
+    MPEG substrate, server architectures (paths A/B/C, clusters),
+    Apache/httperf load, measurement.
+``repro.experiments``
+    One runner per paper table/figure plus beyond-the-paper extensions
+    (``python -m repro.experiments``).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,62 @@
+"""Host-side DVCM API.
+
+"The DVCM appears to the application program as a memory-mapped device,
+offering certain instructions, controlled via control registers, and
+sharing selected memory pages with the application." Host application
+threads call DVCM instructions through this interface; each call marshals
+an I2O message across the PCI segment and (synchronously) awaits the reply.
+
+The call itself is cheap for the *host* — the heavy lifting happens on the
+NI — but it does consume PCI bandwidth for the message frame and any bulk
+payload (e.g. a media frame pushed from host memory to NI memory).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim import Environment, Event
+
+from .messages import I2OMessage, MessageQueuePair
+
+__all__ = ["VCMInterface", "VCMError"]
+
+
+class VCMError(RuntimeError):
+    """An instruction returned an error reply."""
+
+
+class VCMInterface:
+    """One host application's handle onto a card's DVCM."""
+
+    def __init__(self, env: Environment, queues: MessageQueuePair, name: str = "app") -> None:
+        self.env = env
+        self.queues = queues
+        self.name = name
+        self.calls = 0
+
+    def call(
+        self,
+        function: str,
+        payload: Optional[dict[str, Any]] = None,
+        bulk_bytes: int = 0,
+    ) -> Generator[Event, None, Any]:
+        """Process: invoke *function* on the NI and return its result.
+
+        ``bulk_bytes`` is DMA'd with the message (a frame body handed from
+        host memory to NI memory, for example).
+        """
+        message = I2OMessage(
+            function=function,
+            payload=payload if payload is not None else {},
+            bulk_bytes=bulk_bytes,
+        )
+        yield from self.queues.post(message)
+        reply = yield self.queues.wait_reply(message.msg_id)
+        self.calls += 1
+        if reply.status != "ok":
+            raise VCMError(f"{function}: {reply.result}")
+        return reply.result
+
+    def __repr__(self) -> str:
+        return f"<VCMInterface {self.name!r} calls={self.calls}>"

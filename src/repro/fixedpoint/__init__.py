@@ -1,0 +1,25 @@
+"""Fixed-point arithmetic substrate for the embedded scheduler build.
+
+The i960 RD is an I/O co-processor with no floating-point unit; the paper
+builds the DWCS scheduler twice — once on the VxWorks software-FP library,
+once on a hand-rolled fraction/shift fixed-point representation — and
+measures ≈20 µs/decision difference (Tables 1–2). This package provides both
+arithmetic paths with identical decision semantics and an op-count ledger the
+CPU cost model consumes.
+"""
+
+from .context import ArithmeticContext, FixedPointContext, SoftwareFloatContext
+from .fixed import FRACTION_BITS, SCALE, FixedQ16
+from .fraction import Fraction
+from .opcount import OpCounter
+
+__all__ = [
+    "Fraction",
+    "FixedQ16",
+    "FRACTION_BITS",
+    "SCALE",
+    "OpCounter",
+    "ArithmeticContext",
+    "SoftwareFloatContext",
+    "FixedPointContext",
+]

@@ -1,0 +1,80 @@
+"""Abstract operation accounting.
+
+The reproduction times code by *counting operations* while the real algorithm
+executes, then converting counts to microseconds with a CPU cost model
+(:mod:`repro.hw.cpu`). ``OpCounter`` is the ledger: every arithmetic context,
+data structure, and scheduler routine tallies the work it performs here.
+
+Operation classes mirror what mattered on the paper's hardware:
+
+* ``fp_ops`` — floating-point operations. The i960 RD has **no FPU**; these
+  are emulated by the VxWorks software floating-point library, which the
+  paper measures at ≈20 µs of extra scheduling cost per decision.
+* ``int_ops``/``shifts`` — native ALU work (the fixed-point build of the
+  scheduler turns every division into a shift).
+* ``mem_reads``/``mem_writes`` — data memory references, whose cost depends
+  on whether the data cache is enabled (Tables 1 vs 2).
+* ``mmio_reads``/``mmio_writes`` — accesses to the i960 RD's memory-mapped
+  "hardware queue" registers (Table 3); these bypass the data cache but
+  "do not generate any external bus cycles".
+* ``branches`` — control flow, charged at ALU cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["OpCounter"]
+
+
+@dataclass
+class OpCounter:
+    """Mutable tally of abstract machine operations."""
+
+    int_ops: int = 0
+    fp_ops: int = 0
+    shifts: int = 0
+    divides: int = 0
+    mem_reads: int = 0
+    mem_writes: int = 0
+    mmio_reads: int = 0
+    mmio_writes: int = 0
+    branches: int = 0
+
+    def add(self, other: "OpCounter") -> None:
+        """Accumulate *other* into this counter in place."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def __iadd__(self, other: "OpCounter") -> "OpCounter":
+        self.add(other)
+        return self
+
+    def __add__(self, other: "OpCounter") -> "OpCounter":
+        result = OpCounter()
+        result.add(self)
+        result.add(other)
+        return result
+
+    def copy(self) -> "OpCounter":
+        out = OpCounter()
+        out.add(self)
+        return out
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def total(self) -> int:
+        """Total operation count across all classes."""
+        return sum(getattr(self, f.name) for f in fields(self))
+
+    def snapshot_delta(self, since: "OpCounter") -> "OpCounter":
+        """Counter holding this minus *since* (for scoped measurements)."""
+        delta = OpCounter()
+        for f in fields(delta):
+            setattr(delta, f.name, getattr(self, f.name) - getattr(since, f.name))
+        return delta
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}

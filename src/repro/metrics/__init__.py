@@ -1,0 +1,8 @@
+"""Measurement utilities: CPU perfmeter and stream-level statistics
+(the time-series primitives themselves live in :mod:`repro.sim.monitor`)."""
+
+from repro.sim import RateEstimator, TallyStats, TimeSeries
+
+from .perfmeter import Perfmeter
+
+__all__ = ["Perfmeter", "TimeSeries", "TallyStats", "RateEstimator"]

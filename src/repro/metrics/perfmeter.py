@@ -1,0 +1,54 @@
+"""CPU utilization sampling (the paper's Solaris Perfmeter).
+
+Figure 6 plots total CPU utilization over time as the web load ramps; the
+paper measured it with Solaris Perfmeter. :class:`Perfmeter` samples an OS
+kernel's cumulative busy time on a fixed period and records utilization
+percentages into a :class:`~repro.sim.TimeSeries`.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.rtos.kernel import OSKernel
+from repro.sim import Environment, TimeSeries
+
+__all__ = ["Perfmeter"]
+
+
+class Perfmeter:
+    """Periodic utilization sampler over one OS kernel."""
+
+    def __init__(
+        self,
+        env: Environment,
+        kernel: OSKernel,
+        period_us: float = 1_000_000.0,
+        name: str = "perfmeter",
+    ) -> None:
+        if period_us <= 0:
+            raise ValueError("sampling period must be positive")
+        self.env = env
+        self.kernel = kernel
+        self.period_us = period_us
+        #: utilization percentage (0-100) per sample
+        self.series = TimeSeries(name)
+        self._proc = env.process(self._run(), name=name)
+
+    def _run(self) -> Generator:
+        last_busy = self.kernel.cumulative_busy_us()
+        last_t = self.env.now
+        while True:
+            yield self.env.timeout(self.period_us)
+            busy = self.kernel.cumulative_busy_us()
+            span = (self.env.now - last_t) * self.kernel.n_cpus
+            util = 100.0 * (busy - last_busy) / span if span > 0 else 0.0
+            self.series.record(self.env.now, min(100.0, util))
+            last_busy, last_t = busy, self.env.now
+
+    def average(self, start: float = 0.0, end: Optional[float] = None) -> float:
+        """Mean utilization percentage over [start, end)."""
+        return self.series.mean(start, end if end is not None else float("inf"))
+
+    def peak(self) -> float:
+        return self.series.maximum()

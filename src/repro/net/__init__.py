@@ -1,0 +1,21 @@
+"""Board-resident transport protocols over the simulated Ethernet.
+
+"Host-to-host communications are supported by I2O board-resident protocols
+(like TCP and UDP)": :class:`UDPStack` for the media datagrams,
+:class:`TCPStack` (go-back-N sliding window, cumulative ACKs, RTO) for
+reliable control/cluster traffic — both charging their endpoint's
+protocol-stack CPU cost per segment and both living with the switch's
+loss model.
+"""
+
+from .tcp import Segment, TCPConnection, TCPError, TCPStack
+from .udp import Datagram, UDPStack
+
+__all__ = [
+    "UDPStack",
+    "Datagram",
+    "TCPStack",
+    "TCPConnection",
+    "TCPError",
+    "Segment",
+]

@@ -1,0 +1,11 @@
+"""Operating-system models: VxWorks 'wind' on the NI, time-sharing Solaris
+on the host. Tasks request CPU through ``task.compute(us)``; contention,
+quanta, priorities, and context-switch costs produce the service-rate
+variability the paper measures."""
+
+from .kernel import OSKernel
+from .solaris import SolarisHostOS
+from .task import Task, WorkRequest
+from .vxworks import WindScheduler
+
+__all__ = ["OSKernel", "Task", "WorkRequest", "WindScheduler", "SolarisHostOS"]

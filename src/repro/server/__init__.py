@@ -1,0 +1,25 @@
+"""Server architectures: compute nodes, the Figure-3 frame-transfer paths,
+host- and NI-based streaming service assemblies, and the cluster topology."""
+
+from .cluster import Cluster
+from .node import DiskController, ServerNode
+from .paths import (
+    deliver_to_client,
+    path_a_transfer,
+    path_b_transfer,
+    path_c_transfer,
+)
+from .streaming import HOST_DWCS_COSTS, HostStreamingService, NIStreamingService
+
+__all__ = [
+    "ServerNode",
+    "DiskController",
+    "Cluster",
+    "path_a_transfer",
+    "path_b_transfer",
+    "path_c_transfer",
+    "deliver_to_client",
+    "HostStreamingService",
+    "NIStreamingService",
+    "HOST_DWCS_COSTS",
+]

@@ -1,0 +1,115 @@
+"""The three frame-transfer paths of Figure 3.
+
+* **Path A** — Disk → host CPU/memory → I/O bus → (non-I2O) NI → network.
+  Every frame crosses the host bridge twice (disk→memory, memory→NIC) and
+  burns host CPU for filesystem and protocol work.
+* **Path B** — Disk on one i960 RD card → PCI peer DMA → scheduler card →
+  network. No host CPU, no host memory, no system bus.
+* **Path C** — Disk and scheduler on the *same* i960 RD card → network.
+  Not even the PCI bus is involved.
+
+Each path is a process returning the end-to-end latency of one frame; the
+Table 4 experiment runs them over 1000 transfers. They are also the
+building blocks of the streaming services in :mod:`repro.server.streaming`.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.hw.ethernet import CLIENT_STACK, EthernetPort, NetFrame
+from repro.hw.filesystem import File
+from repro.hw.nic import I960RDCard, Intel82557NIC
+from repro.sim import Environment, Event
+
+from .node import DiskController, ServerNode
+
+__all__ = ["path_a_transfer", "path_b_transfer", "path_c_transfer", "deliver_to_client"]
+
+
+def deliver_to_client(
+    env: Environment,
+    port: EthernetPort,
+    dest: str,
+    nbytes: int,
+    stream_id: Optional[str] = None,
+    seqno: int = 0,
+) -> Generator[Event, None, None]:
+    """Process: client-side receive handling included (Table 4 measures to
+    the remote client through its protocol stack)."""
+    frame = NetFrame(payload_bytes=nbytes, stream_id=stream_id, seqno=seqno)
+    yield from port.send(frame, dest)
+    yield env.timeout(CLIENT_STACK.cost_us(nbytes))
+
+
+def path_a_transfer(
+    node: ServerNode,
+    controller: DiskController,
+    file: File,
+    nic: Intel82557NIC,
+    dest: str,
+    nbytes: int,
+) -> Generator[Event, None, float]:
+    """Process: one frame over path A; returns its latency in µs."""
+    env = node.env
+    start = env.now
+    # 1. filesystem read: disk into controller, then DMA into host memory
+    #    across the bridge (I/O bus -> system bus).
+    got = yield from file.read_next(nbytes)
+    if got == 0:
+        return 0.0
+    bridge = node.bridge_for(controller.segment)
+    yield from bridge.transfer(got)
+    # 2. host protocol processing (UDP/IP encapsulation on the host CPU).
+    yield env.timeout(node.host_stack.cost_us(got))
+    # 3. DMA from host memory to the NIC across the bridge again.
+    nic_bridge = node.bridge_for(nic.segment)
+    yield from nic_bridge.transfer(got)
+    # 4. onto the wire, through the switch, into the client.
+    yield from deliver_to_client(env, nic.eth_port, dest, got)
+    return env.now - start
+
+
+def path_b_transfer(
+    producer_card: I960RDCard,
+    scheduler_card: I960RDCard,
+    file: File,
+    dest: str,
+    nbytes: int,
+    eth_port: int = 0,
+) -> Generator[Event, None, float]:
+    """Process: one frame over path B; returns its latency in µs."""
+    env = producer_card.env
+    if producer_card.segment is not scheduler_card.segment:
+        raise ValueError("path B requires both cards on one PCI segment")
+    start = env.now
+    # 1. producer card reads the frame from its own disk into card memory.
+    got = yield from file.read_next(nbytes)
+    if got == 0:
+        return 0.0
+    # 2. peer-to-peer DMA to the scheduler card: I/O bus only.
+    yield from producer_card.dma.peer_transfer(got)
+    # 3. scheduler card's protocol stack + wire + client.
+    yield env.timeout(scheduler_card.stack.cost_us(got))
+    yield from deliver_to_client(env, scheduler_card.eth_ports[eth_port], dest, got)
+    return env.now - start
+
+
+def path_c_transfer(
+    card: I960RDCard,
+    file: File,
+    dest: str,
+    nbytes: int,
+    eth_port: int = 0,
+) -> Generator[Event, None, float]:
+    """Process: one frame over path C; returns its latency in µs."""
+    env = card.env
+    start = env.now
+    # 1. frame from the card's own disk straight into card memory.
+    got = yield from file.read_next(nbytes)
+    if got == 0:
+        return 0.0
+    # 2. protocol stack on the card, wire, client. No bus domain crossed.
+    yield env.timeout(card.stack.cost_us(got))
+    yield from deliver_to_client(env, card.eth_ports[eth_port], dest, got)
+    return env.now - start

@@ -1,0 +1,161 @@
+"""The simulation environment: clock, event queue, and run loop.
+
+Time is a ``float`` in **microseconds** throughout this project — the paper
+reports every primitive in µs (scheduling overhead ≈65 µs, PIO word read
+3.6 µs, Ethernet frame time ≈120 µs), so a µs base keeps every constant
+legible against the paper's tables.
+
+The event queue is a binary heap keyed by ``(time, priority, sequence)``;
+the monotone sequence number makes same-time processing deterministic
+(FIFO in scheduling order), which the reproduction relies on for exact
+repeatability of every experiment.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from .errors import SimulationError, StopSimulation
+from .events import AllOf, AnyOf, Event, Timeout
+from .process import Process
+
+__all__ = ["Environment", "US", "MS", "S"]
+
+# Unit helpers: multiply readable durations into the µs time base.
+US = 1.0
+MS = 1_000.0
+S = 1_000_000.0
+
+#: Default event priority. Lower runs first among same-time events.
+NORMAL = 1
+#: Priority used for urgent kernel bookkeeping (e.g. interrupts).
+URGENT = 0
+
+
+class Environment:
+    """Execution environment for a single simulation run.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting clock value in microseconds.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self.active_process: Optional[Process] = None
+
+    # -- clock -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in microseconds."""
+        return self._now
+
+    # -- factories ----------------------------------------------------------
+    def event(self, name: Optional[str] = None) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` µs from now."""
+        return Timeout(self, delay, value=value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: Optional[str] = None
+    ) -> Process:
+        """Spawn *generator* as a new process starting at the current time."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule_event(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Enqueue *event* for callback processing ``delay`` µs from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def schedule_callback(
+        self, delay: float, callback: Callable[[], None], name: Optional[str] = None
+    ) -> Event:
+        """Run *callback* after ``delay`` µs; returns the underlying event."""
+        ev = Timeout(self, delay, name=name)
+        ev.callbacks.append(lambda _e: callback())
+        return ev
+
+    # -- run loop -------------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - heap invariant guard
+            raise SimulationError("event queue produced a time in the past")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, []
+        event._mark_processed()  # also marks deferred-trigger events (Timeout)
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not event.defused:
+            # A failed event nobody waited on: surface the error loudly
+            # instead of silently losing it.
+            raise event._value
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the queue drains, *until* time passes, or event fires.
+
+        Returns the value of *until* when it is an event; otherwise ``None``.
+        """
+        stop_at = float("inf")
+        stop_event: Optional[Event] = None
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                return self._unwrap(stop_event)
+
+            def _stop(ev: Event) -> None:
+                raise StopSimulation(ev)
+
+            stop_event.callbacks.append(_stop)
+        elif until is not None:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise SimulationError(
+                    f"run(until={stop_at}) is in the past (now={self._now})"
+                )
+
+        try:
+            while self._queue and self.peek() <= stop_at:
+                self.step()
+        except StopSimulation as stop:
+            return self._unwrap(stop.value)
+        if stop_event is not None:
+            raise SimulationError(
+                f"run() ran out of events before {stop_event!r} triggered"
+            )
+        if stop_at != float("inf"):
+            self._now = max(self._now, stop_at)
+        return None
+
+    @staticmethod
+    def _unwrap(event: Event) -> Any:
+        """Return a finished event's value, raising its exception on failure."""
+        if event._ok:
+            return event._value
+        event.defused = True
+        raise event._value
+
+    def __repr__(self) -> str:
+        return f"<Environment t={self._now:.3f}us queued={len(self._queue)}>"

@@ -1,0 +1,64 @@
+"""Exception types raised by the simulation kernel.
+
+The kernel distinguishes three failure modes:
+
+* :class:`SimulationError` — programming errors in the use of the kernel
+  (scheduling into the past, re-triggering an event, ...).
+* :class:`Interrupt` — delivered *into* a process when another process
+  interrupts it (e.g. preemption of a CPU slice).
+* :class:`Preempted` — payload describing a resource preemption; carried as
+  the ``cause`` of an :class:`Interrupt`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["SimulationError", "Interrupt", "Preempted", "StopSimulation"]
+
+
+class SimulationError(RuntimeError):
+    """Incorrect use of the simulation kernel."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Environment.run` early."""
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Thrown inside a process when it is interrupted by another process.
+
+    ``cause`` carries an arbitrary payload explaining the interruption;
+    for resource preemption it is a :class:`Preempted` record.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0]
+
+
+@dataclass(frozen=True)
+class Preempted:
+    """Describes a preemption of a resource request.
+
+    Attributes
+    ----------
+    by:
+        The process (or other actor) that caused the preemption.
+    usage_since:
+        Simulated time at which the preempted user acquired the resource.
+    resource:
+        The resource the user was evicted from.
+    """
+
+    by: Any
+    usage_since: float
+    resource: Any

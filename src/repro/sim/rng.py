@@ -1,0 +1,36 @@
+"""Deterministic random-number management.
+
+Every stochastic component (disk geometry, web request interarrivals, MPEG
+frame sizes, ...) draws from its own *named substream* derived from a single
+experiment seed, so adding a new random component never perturbs the draws of
+existing ones — a requirement for regression-stable experiment output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["RandomStreams"]
+
+
+class RandomStreams:
+    """A family of independent, named ``numpy`` generators under one seed."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """The generator for *name* (created deterministically on first use)."""
+        gen = self._streams.get(name)
+        if gen is None:
+            digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+            child_seed = int.from_bytes(digest[:8], "little")
+            gen = np.random.default_rng(child_seed)
+            self._streams[name] = gen
+        return gen
+
+    def __repr__(self) -> str:
+        return f"<RandomStreams seed={self.seed} streams={sorted(self._streams)}>"

@@ -1,0 +1,118 @@
+"""Structured event tracing.
+
+A :class:`Tracer` collects timestamped, categorized records from any
+component that accepts one (the DWCS scheduler emits ``decision``,
+``drop``, ``violation``; attach your own categories freely). Traces answer
+the questions raw counters can't — *when* did the drops cluster, what did
+the scheduler pick right before a violation — and export to JSON-lines for
+external tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .environment import Environment
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded occurrence."""
+
+    time_us: float
+    category: str
+    name: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "t": self.time_us,
+            "cat": self.category,
+            "name": self.name,
+            **self.fields,
+        }
+
+
+class Tracer:
+    """Bounded, filterable trace collector.
+
+    Parameters
+    ----------
+    env:
+        Clock source.
+    categories:
+        When given, only these categories are recorded (cheap pre-filter).
+    capacity:
+        Ring bound: oldest events are discarded beyond it (a trace must
+        never be the thing that exhausts memory).
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        categories: Optional[Iterable[str]] = None,
+        capacity: int = 100_000,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.categories = frozenset(categories) if categories is not None else None
+        self.capacity = capacity
+        self._events: list[TraceEvent] = []
+        self.emitted = 0
+        self.discarded = 0
+
+    # -- recording ----------------------------------------------------------
+    def wants(self, category: str) -> bool:
+        """Cheap guard so emitters can skip building field dicts."""
+        return self.categories is None or category in self.categories
+
+    def emit(self, category: str, name: str, **fields: Any) -> None:
+        if not self.wants(category):
+            return
+        self.emitted += 1
+        self._events.append(
+            TraceEvent(time_us=self.env.now, category=category, name=name, fields=fields)
+        )
+        if len(self._events) > self.capacity:
+            overflow = len(self._events) - self.capacity
+            del self._events[:overflow]
+            self.discarded += overflow
+
+    # -- queries --------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(
+        self,
+        category: Optional[str] = None,
+        name: Optional[str] = None,
+        start_us: float = float("-inf"),
+        end_us: float = float("inf"),
+    ) -> list[TraceEvent]:
+        return [
+            e
+            for e in self._events
+            if (category is None or e.category == category)
+            and (name is None or e.name == name)
+            and start_us <= e.time_us < end_us
+        ]
+
+    def counts(self) -> dict[str, int]:
+        """{category: event count} over the retained window."""
+        out: dict[str, int] = {}
+        for e in self._events:
+            out[e.category] = out.get(e.category, 0) + 1
+        return out
+
+    def to_jsonl(self) -> str:
+        """JSON-lines export (one event per line)."""
+        return "\n".join(json.dumps(e.to_dict()) for e in self._events)
+
+    def __repr__(self) -> str:
+        return f"<Tracer {len(self._events)} events (emitted={self.emitted})>"

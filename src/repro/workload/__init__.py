@@ -1,0 +1,7 @@
+"""Server workloads: the Apache process-pool model and the httperf-like
+open-loop load generator used to produce Figure 6's utilization profiles."""
+
+from .apache import ApacheServer, WebRequest
+from .httperf import Httperf
+
+__all__ = ["ApacheServer", "WebRequest", "Httperf"]

@@ -1,0 +1,123 @@
+"""Admission control: the (1 - x/y)·C/T utilization test."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AdmissionController,
+    DWCSScheduler,
+    StreamSpec,
+    mandatory_utilization,
+)
+from repro.media import FrameType, MediaFrame
+
+
+def spec(sid="s", period=1000.0, x=0, y=1):
+    return StreamSpec(sid, period_us=period, loss_x=x, loss_y=y)
+
+
+class TestMandatoryUtilization:
+    def test_zero_tolerance_full_share(self):
+        assert mandatory_utilization(spec(x=0, y=1, period=100.0), 50.0) == 0.5
+
+    def test_half_tolerance_half_share(self):
+        assert mandatory_utilization(spec(x=1, y=2, period=100.0), 50.0) == 0.25
+
+    def test_full_tolerance_zero_share(self):
+        assert mandatory_utilization(spec(x=4, y=4, period=100.0), 50.0) == 0.0
+
+    def test_invalid_service_time(self):
+        with pytest.raises(ValueError):
+            mandatory_utilization(spec(), 0.0)
+
+
+class TestAdmissionController:
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(utilization_bound=0.0)
+        with pytest.raises(ValueError):
+            AdmissionController(utilization_bound=1.5)
+
+    def test_admit_until_bound(self):
+        ac = AdmissionController(utilization_bound=0.5)
+        # each stream: (1-0) * 100/1000 = 0.1
+        for i in range(5):
+            d = ac.admit(spec(f"s{i}", period=1000.0), 100.0)
+            assert d.admitted
+        d = ac.admit(spec("s5", period=1000.0), 100.0)
+        assert not d.admitted
+        assert "exceed" in d.reason
+        assert ac.utilization == pytest.approx(0.5)
+
+    def test_loss_tolerance_buys_admission(self):
+        """Lossier streams consume less guaranteed share — the paper's
+        'pre-negotiated bound on service degradation' in action."""
+        ac = AdmissionController(utilization_bound=0.5)
+        for i in range(10):  # (1 - 1/2) * 0.1 = 0.05 each
+            assert ac.admit(spec(f"s{i}", period=1000.0, x=1, y=2), 100.0).admitted
+        assert not ac.admit(spec("one-more", period=1000.0, x=1, y=2), 100.0).admitted
+
+    def test_duplicate_rejected(self):
+        ac = AdmissionController()
+        ac.admit(spec("s0"), 1.0)
+        d = ac.admit(spec("s0"), 1.0)
+        assert not d.admitted
+        assert "already admitted" in d.reason
+
+    def test_evaluate_does_not_admit(self):
+        ac = AdmissionController()
+        d = ac.evaluate(spec("s0", period=1000.0), 100.0)
+        assert d.admitted
+        assert ac.admitted_streams == []
+
+    def test_release_returns_share(self):
+        ac = AdmissionController(utilization_bound=0.2)
+        ac.admit(spec("s0", period=1000.0), 100.0)
+        assert not ac.admit(spec("s1", period=1000.0), 150.0).admitted
+        ac.release("s0")
+        assert ac.admit(spec("s1", period=1000.0), 150.0).admitted
+
+    def test_release_unknown_raises(self):
+        with pytest.raises(KeyError):
+            AdmissionController().release("ghost")
+
+    def test_headroom(self):
+        ac = AdmissionController(utilization_bound=0.8)
+        ac.admit(spec("s0", period=1000.0), 300.0)
+        assert ac.headroom() == pytest.approx(0.5)
+
+
+class TestAdmissionGuarantee:
+    @given(
+        n_streams=st.integers(1, 6),
+        period=st.sampled_from([400.0, 800.0, 1600.0]),
+        x=st.integers(0, 2),
+        extra=st.integers(1, 3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_admitted_sets_run_without_violations(self, n_streams, period, x, extra):
+        """Streams admitted under the bound never violate their windows when
+        service honours the assumed per-packet cost."""
+        service_us = 50.0
+        ac = AdmissionController(utilization_bound=0.9)
+        s = DWCSScheduler(work_conserving=True)
+        admitted = []
+        for i in range(n_streams):
+            sp = spec(f"s{i}", period=period, x=x, y=x + extra)
+            if ac.admit(sp, service_us).admitted:
+                s.add_stream(sp)
+                admitted.append(sp)
+        assert admitted  # the bound always fits at least one such stream
+        n_frames = 3 * (x + extra)
+        for sp in admitted:
+            for k in range(n_frames):
+                s.enqueue(MediaFrame(sp.stream_id, k, FrameType.I, 100, 0.0), 0.0)
+        t = 0.0
+        while s.backlog:
+            s.schedule(t)
+            t += service_us  # the service rate admission assumed
+        for sp in admitted:
+            state = s.streams[sp.stream_id]
+            assert state.violations == 0
+            assert state.dropped == 0

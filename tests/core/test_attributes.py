@@ -1,0 +1,69 @@
+"""StreamSpec validation and StreamState mechanics."""
+
+import pytest
+
+from repro.core import StreamSpec, StreamState
+from repro.fixedpoint import Fraction
+
+
+class TestStreamSpec:
+    def test_basic(self):
+        spec = StreamSpec("s1", period_us=40_000.0, loss_x=1, loss_y=4)
+        assert spec.loss_tolerance == Fraction(1, 4)
+
+    def test_zero_loss_tolerance_allowed(self):
+        spec = StreamSpec("s1", period_us=1000.0, loss_x=0, loss_y=5)
+        assert spec.loss_tolerance.is_zero()
+
+    def test_full_loss_tolerance_allowed(self):
+        StreamSpec("s1", period_us=1000.0, loss_x=3, loss_y=3)
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            StreamSpec("s1", period_us=0.0, loss_x=1, loss_y=2)
+
+    def test_x_greater_than_y_rejected(self):
+        with pytest.raises(ValueError):
+            StreamSpec("s1", period_us=1.0, loss_x=3, loss_y=2)
+
+    def test_negative_x_rejected(self):
+        with pytest.raises(ValueError):
+            StreamSpec("s1", period_us=1.0, loss_x=-1, loss_y=2)
+
+    def test_zero_window_rejected(self):
+        with pytest.raises(ValueError):
+            StreamSpec("s1", period_us=1.0, loss_x=0, loss_y=0)
+
+
+class TestStreamState:
+    def spec(self, x=1, y=4):
+        return StreamSpec("s1", period_us=1000.0, loss_x=x, loss_y=y)
+
+    def test_initial_window_matches_spec(self):
+        st = StreamState(self.spec(2, 5))
+        assert (st.x_cur, st.y_cur) == (2, 5)
+        assert st.constraint == Fraction(2, 5)
+
+    def test_first_deadline_anchoring(self):
+        st = StreamState(self.spec())
+        st.set_first_deadline(500.0)
+        assert st.deadline_us == 1500.0
+        st.set_first_deadline(9999.0)  # idempotent
+        assert st.deadline_us == 1500.0
+
+    def test_advance_deadline(self):
+        st = StreamState(self.spec())
+        st.set_first_deadline(0.0)
+        st.advance_deadline()
+        assert st.deadline_us == 2000.0
+
+    def test_advance_before_anchor_raises(self):
+        with pytest.raises(RuntimeError):
+            StreamState(self.spec()).advance_deadline()
+
+    def test_reset_window(self):
+        st = StreamState(self.spec(2, 5))
+        st.x_cur, st.y_cur = 0, 1
+        st.reset_window()
+        assert (st.x_cur, st.y_cur) == (2, 5)
+        assert st.window_resets == 1

@@ -1,0 +1,182 @@
+"""SortedList and CalendarQueue schedule representations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CalendarQueue,
+    DWCSScheduler,
+    DualHeaps,
+    LinearScan,
+    SortedList,
+    StreamSpec,
+)
+from repro.core.attributes import StreamState
+from repro.core.selection import Entry
+from repro.fixedpoint import FixedPointContext, OpCounter
+from repro.media import FrameType, MediaFrame
+
+
+def entry(stream_id, deadline, x=1, y=4, enq=0.0, seq=0):
+    state = StreamState(
+        StreamSpec(stream_id, period_us=1000.0, loss_x=x, loss_y=y),
+        created_seq=seq,
+    )
+    state.deadline_us = deadline
+    return Entry(state, head_enqueued_at=enq)
+
+
+@pytest.fixture(params=[SortedList, CalendarQueue], ids=["sorted-list", "calendar"])
+def structure(request):
+    return request.param(FixedPointContext())
+
+
+class TestBasicOperations:
+    def test_select_min_deadline(self, structure):
+        ops = OpCounter()
+        entries = [entry(f"s{i}", float(100 * (i + 1)), seq=i) for i in range(5)]
+        for e in reversed(entries):
+            structure.add(e, ops)
+        assert structure.select(ops) is entries[0]
+        assert len(structure) == 5
+
+    def test_empty_select_none(self, structure):
+        assert structure.select(OpCounter()) is None
+
+    def test_duplicate_add_rejected(self, structure):
+        ops = OpCounter()
+        e = entry("s0", 100.0)
+        structure.add(e, ops)
+        with pytest.raises(ValueError):
+            structure.add(e, ops)
+
+    def test_remove(self, structure):
+        ops = OpCounter()
+        a, b = entry("a", 100.0, seq=0), entry("b", 200.0, seq=1)
+        structure.add(a, ops)
+        structure.add(b, ops)
+        structure.remove(a, ops)
+        assert structure.select(ops) is b
+        assert len(structure) == 1
+
+    def test_remove_missing_raises(self, structure):
+        with pytest.raises(KeyError):
+            structure.remove(entry("ghost", 1.0), OpCounter())
+
+    def test_reorder_after_key_change(self, structure):
+        ops = OpCounter()
+        a, b = entry("a", 100.0, seq=0), entry("b", 200.0, seq=1)
+        structure.add(a, ops)
+        structure.add(b, ops)
+        a.state.deadline_us = 900.0
+        structure.reorder(a, ops)
+        assert structure.select(ops) is b
+
+    def test_late_entries(self, structure):
+        ops = OpCounter()
+        entries = [entry(f"s{i}", float(100 * (i + 1)), seq=i) for i in range(5)]
+        for e in entries:
+            structure.add(e, ops)
+        late = structure.late_entries(250.0, ops)
+        assert {e.stream_id for e in late} == {"s0", "s1"}
+
+    def test_deadline_ties_resolved_by_constraint(self, structure):
+        ops = OpCounter()
+        loose = entry("loose", 100.0, x=3, y=4, seq=0)
+        strict = entry("strict", 100.0, x=1, y=4, seq=1)
+        structure.add(loose, ops)
+        structure.add(strict, ops)
+        assert structure.select(ops) is strict
+
+    def test_unanchored_entries_sort_last(self, structure):
+        ops = OpCounter()
+        anchored = entry("a", 100.0, seq=0)
+        floating = entry("f", None, seq=1)
+        structure.add(floating, ops)
+        structure.add(anchored, ops)
+        assert structure.select(ops) is anchored
+
+
+class TestSortedListInvariant:
+    def test_stays_sorted_under_churn(self):
+        sl = SortedList(FixedPointContext())
+        ops = OpCounter()
+        entries = [entry(f"s{i}", 10.0 + (i * 37) % 100, seq=i) for i in range(20)]
+        for e in entries:
+            sl.add(e, ops)
+        assert sl.check_sorted()
+        entries[3].state.deadline_us = 999.0
+        sl.reorder(entries[3], ops)
+        entries[11].state.deadline_us = 0.5
+        sl.reorder(entries[11], ops)
+        assert sl.check_sorted()
+        assert sl.select(ops) is entries[11]
+
+
+class TestCalendarQueueSpecifics:
+    def test_invalid_day_width(self):
+        with pytest.raises(ValueError):
+            CalendarQueue(FixedPointContext(), day_width_us=0)
+
+    def test_equal_deadlines_share_bucket(self):
+        cq = CalendarQueue(FixedPointContext(), day_width_us=10.0)
+        ops = OpCounter()
+        a, b = entry("a", 105.0, seq=0), entry("b", 105.0, x=0, y=4, seq=1)
+        cq.add(a, ops)
+        cq.add(b, ops)
+        # zero-tolerance b wins the tie (rule 2)
+        assert cq.select(ops) is b
+
+    def test_selection_cost_independent_of_far_entries(self):
+        """Bucketing pays: entries in far days cost nothing at select."""
+        ctx = FixedPointContext()
+        cq = CalendarQueue(ctx, day_width_us=10.0)
+        ops = OpCounter()
+        cq.add(entry("near", 5.0, seq=0), ops)
+        for i in range(50):
+            cq.add(entry(f"far{i}", 1e6 + i * 100, seq=i + 1), ops)
+        before = ops.total() + ctx.ops.total()
+        cq.select(ops)
+        cost = ops.total() + ctx.ops.total() - before
+        # min over occupied days + a 1-entry bucket: no per-far-entry work
+        assert cost < 120
+
+
+class TestWholeSchedulerEquivalence:
+    @given(
+        n_streams=st.integers(2, 5),
+        n_frames=st.integers(1, 10),
+        step=st.sampled_from([40.0, 180.0, 700.0]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_all_four_structures_run_identically(self, n_streams, n_frames, step):
+        histories = []
+        for factory in (LinearScan, DualHeaps, SortedList, CalendarQueue):
+            s = DWCSScheduler(selection_factory=factory, work_conserving=True)
+            for i in range(n_streams):
+                s.add_stream(
+                    StreamSpec(
+                        f"s{i}",
+                        period_us=150.0 + 90.0 * i,
+                        loss_x=i % 3,
+                        loss_y=(i % 3) + 2,
+                    )
+                )
+            for i in range(n_streams):
+                for k in range(n_frames):
+                    s.enqueue(MediaFrame(f"s{i}", k, FrameType.I, 1000, 0.0), 0.0)
+            hist = []
+            t, guard = 0.0, 0
+            while s.backlog and guard < 600:
+                d = s.schedule(t)
+                hist.append(
+                    (
+                        d.serviced.stream_id if d.serviced else None,
+                        tuple((x.stream_id, x.frame.seqno) for x in d.dropped),
+                    )
+                )
+                t += step
+                guard += 1
+            histories.append(hist)
+        assert histories[0] == histories[1] == histories[2] == histories[3]

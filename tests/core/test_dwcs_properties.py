@@ -1,0 +1,109 @@
+"""Property-based invariants of the DWCS window-constraint machinery."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DWCSScheduler, StreamSpec
+from repro.media import FrameType, MediaFrame
+
+stream_params = st.tuples(
+    st.sampled_from([100.0, 200.0, 400.0, 800.0]),  # period
+    st.integers(0, 3),  # x
+    st.integers(1, 5),  # extra window beyond x
+    st.booleans(),  # drop_late
+)
+
+
+def build(specs):
+    s = DWCSScheduler(work_conserving=True)
+    for i, (period, x, extra, drop_late) in enumerate(specs):
+        y = max(1, x + extra)
+        s.add_stream(
+            StreamSpec(f"s{i}", period_us=period, loss_x=x, loss_y=y, drop_late=drop_late)
+        )
+    return s
+
+
+def run(s, n_frames, step):
+    for sid in list(s.streams):
+        for k in range(n_frames):
+            s.enqueue(MediaFrame(sid, k, FrameType.I, 1000, 0.0), 0.0)
+    t, guard = 0.0, 0
+    while s.backlog and guard < 2000:
+        s.schedule(t)
+        # window invariant must hold after every cycle
+        for state in s.streams.values():
+            assert 0 <= state.x_cur <= state.y_cur
+            assert state.y_cur >= 1
+        t += step
+        guard += 1
+    return s
+
+
+@given(
+    specs=st.lists(stream_params, min_size=1, max_size=5),
+    n_frames=st.integers(1, 20),
+    step=st.sampled_from([30.0, 120.0, 500.0]),
+)
+@settings(max_examples=60, deadline=None)
+def test_window_invariant_and_conservation(specs, n_frames, step):
+    s = run(build(specs), n_frames, step)
+    for sid, state in s.streams.items():
+        q = s.queues[sid]
+        accounted = state.serviced + state.sent_late + state.dropped + len(q)
+        assert accounted == q.enqueued_total == n_frames
+
+
+@given(
+    specs=st.lists(stream_params, min_size=1, max_size=4),
+    n_frames=st.integers(2, 25),
+    step=st.sampled_from([30.0, 250.0, 900.0]),
+)
+@settings(max_examples=60, deadline=None)
+def test_loss_bound_without_violations(specs, n_frames, step):
+    """With zero violations, drops per stream obey the x/y window bound."""
+    s = run(build(specs), n_frames, step)
+    for state in s.streams.values():
+        if state.violations == 0:
+            x, y = state.spec.loss_x, state.spec.loss_y
+            consumed = state.serviced + state.sent_late + state.dropped
+            windows = -(-consumed // y) if y else 0  # ceil
+            assert state.dropped <= windows * x + x  # current window slack
+
+
+@given(
+    specs=st.lists(stream_params, min_size=1, max_size=4),
+    n_frames=st.integers(1, 15),
+)
+@settings(max_examples=40, deadline=None)
+def test_fast_service_never_drops(specs, n_frames):
+    """Serving faster than every period ⇒ no misses, drops, or violations."""
+    s = run(build(specs), n_frames, step=10.0)  # far faster than min period
+    for state in s.streams.values():
+        assert state.dropped == 0
+        assert state.violations == 0
+        assert state.sent_late == 0
+        assert state.serviced == n_frames
+
+
+@given(
+    x=st.integers(0, 4),
+    extra=st.integers(0, 4),
+    n_windows=st.integers(1, 6),
+)
+@settings(max_examples=50, deadline=None)
+def test_all_serviced_window_cycles_exactly(x, extra, n_windows):
+    """On-time service cycles the window with period (y - x) for lossy
+    streams (once y-x packets are served the rest may all be lost, so the
+    window resets early) and period y for zero-tolerance streams."""
+    y = max(1, x + extra)
+    cycle = max(1, y - x) if x > 0 else y
+    s = DWCSScheduler(work_conserving=True)
+    state = s.add_stream(StreamSpec("s", period_us=1e6, loss_x=x, loss_y=y))
+    for k in range(cycle * n_windows):
+        s.enqueue(MediaFrame("s", k, FrameType.I, 100, 0.0), 0.0)
+    while s.backlog:
+        s.schedule(0.0)
+    assert (state.x_cur, state.y_cur) == (x, y)
+    assert state.violations == 0
+    assert state.window_resets == n_windows

@@ -1,0 +1,151 @@
+"""Op-counted binary heap."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import OpHeap
+from repro.fixedpoint import OpCounter
+
+
+class Box:
+    """Mutable keyed item (identity-tracked by the heap)."""
+
+    def __init__(self, key):
+        self.key = key
+
+    def __repr__(self):
+        return f"Box({self.key})"
+
+
+def int_cmp(a, b, ops):
+    return (a.key > b.key) - (a.key < b.key)
+
+
+@pytest.fixture
+def heap():
+    return OpHeap(int_cmp)
+
+
+class TestBasics:
+    def test_push_pop_sorted(self, heap):
+        ops = OpCounter()
+        boxes = [Box(k) for k in (5, 1, 4, 2, 3)]
+        for b in boxes:
+            heap.push(b, ops)
+        assert [heap.pop_min(ops).key for _ in range(5)] == [1, 2, 3, 4, 5]
+
+    def test_peek(self, heap):
+        ops = OpCounter()
+        heap.push(Box(3), ops)
+        heap.push(Box(1), ops)
+        assert heap.peek().key == 1
+        assert len(heap) == 2
+
+    def test_peek_empty(self, heap):
+        assert heap.peek() is None
+
+    def test_pop_empty_raises(self, heap):
+        with pytest.raises(IndexError):
+            heap.pop_min(OpCounter())
+
+    def test_duplicate_item_rejected(self, heap):
+        ops = OpCounter()
+        b = Box(1)
+        heap.push(b, ops)
+        with pytest.raises(ValueError):
+            heap.push(b, ops)
+
+    def test_contains(self, heap):
+        ops = OpCounter()
+        b = Box(1)
+        heap.push(b, ops)
+        assert b in heap
+        heap.pop_min(ops)
+        assert b not in heap
+
+    def test_remove_arbitrary(self, heap):
+        ops = OpCounter()
+        boxes = [Box(k) for k in (5, 1, 4, 2, 3)]
+        for b in boxes:
+            heap.push(b, ops)
+        heap.remove(boxes[2], ops)  # remove key 4
+        assert [heap.pop_min(ops).key for _ in range(4)] == [1, 2, 3, 5]
+
+    def test_remove_missing_raises(self, heap):
+        with pytest.raises(KeyError):
+            heap.remove(Box(1), OpCounter())
+
+    def test_update_after_key_change(self, heap):
+        ops = OpCounter()
+        boxes = [Box(k) for k in (1, 5, 9)]
+        for b in boxes:
+            heap.push(b, ops)
+        boxes[0].key = 100  # was the min
+        heap.update(boxes[0], ops)
+        assert heap.peek().key == 5
+        assert heap.check_invariant()
+
+    def test_update_missing_raises(self, heap):
+        with pytest.raises(KeyError):
+            heap.update(Box(1), OpCounter())
+
+    def test_ops_charged(self, heap):
+        ops = OpCounter()
+        for k in range(16):
+            heap.push(Box(k), ops)
+        assert ops.mem_writes > 0
+        assert ops.branches > 0
+
+
+class TestProperties:
+    @given(st.lists(st.integers(), min_size=0, max_size=200))
+    def test_heapsort_matches_sorted(self, keys):
+        heap = OpHeap(int_cmp)
+        ops = OpCounter()
+        for k in keys:
+            heap.push(Box(k), ops)
+        out = [heap.pop_min(ops).key for _ in range(len(keys))]
+        assert out == sorted(keys)
+
+    @given(
+        st.lists(st.integers(0, 100), min_size=1, max_size=50),
+        st.data(),
+    )
+    def test_invariant_held_under_mixed_updates(self, keys, data):
+        heap = OpHeap(int_cmp)
+        ops = OpCounter()
+        boxes = [Box(k) for k in keys]
+        for b in boxes:
+            heap.push(b, ops)
+        live = list(boxes)
+        for _ in range(min(20, len(live))):
+            action = data.draw(st.sampled_from(["update", "remove", "pop"]))
+            if not live:
+                break
+            if action == "update":
+                b = data.draw(st.sampled_from(live))
+                b.key = data.draw(st.integers(0, 100))
+                heap.update(b, ops)
+            elif action == "remove":
+                b = data.draw(st.sampled_from(live))
+                heap.remove(b, ops)
+                live.remove(b)
+            else:
+                b = heap.pop_min(ops)
+                live.remove(b)
+            assert heap.check_invariant()
+        remaining = sorted(b.key for b in live)
+        assert [heap.pop_min(ops).key for _ in range(len(live))] == remaining
+
+    @given(st.lists(st.integers(), min_size=8, max_size=256, unique=True))
+    def test_cost_scales_logarithmically(self, keys):
+        """Pushing n items costs O(n log n) comparisons, not O(n^2)."""
+        import math
+
+        heap = OpHeap(int_cmp)
+        ops = OpCounter()
+        for k in keys:
+            heap.push(Box(k), ops)
+        n = len(keys)
+        assert ops.branches <= 3 * n * (math.log2(n) + 1)

@@ -1,0 +1,123 @@
+"""Per-stream ring buffers: pinned memory and hardware-queue builds."""
+
+import pytest
+
+from repro.core import CircularBufferQueue, HardwareQueueRing, QueueFullError
+from repro.fixedpoint import OpCounter
+from repro.hw import HardwareQueueFile
+from repro.media import FrameType, MediaFrame
+from repro.media.frames import FrameDescriptor
+
+
+def desc(seq, stream="s1"):
+    return FrameDescriptor(
+        frame=MediaFrame(stream, seq, FrameType.I, 1000, 0.0),
+        deadline_us=float(seq),
+    )
+
+
+@pytest.fixture(
+    params=["memory", "hardware"],
+    ids=["circular-buffer", "hardware-queue"],
+)
+def ring(request):
+    if request.param == "memory":
+        return CircularBufferQueue("s1", capacity=4)
+    return HardwareQueueRing("s1", HardwareQueueFile(), base=0, capacity=4)
+
+
+class TestRingSemantics:
+    def test_fifo_order(self, ring):
+        ops = OpCounter()
+        for i in range(3):
+            ring.enqueue(desc(i), ops)
+        assert [ring.pop(ops).frame.seqno for _ in range(3)] == [0, 1, 2]
+
+    def test_head_peeks_without_consuming(self, ring):
+        ops = OpCounter()
+        ring.enqueue(desc(7), ops)
+        assert ring.head(ops).frame.seqno == 7
+        assert len(ring) == 1
+
+    def test_empty_head_is_none(self, ring):
+        assert ring.head(OpCounter()) is None
+
+    def test_pop_empty_raises(self, ring):
+        with pytest.raises(IndexError):
+            ring.pop(OpCounter())
+
+    def test_full_ring_rejects(self, ring):
+        ops = OpCounter()
+        for i in range(4):
+            ring.enqueue(desc(i), ops)
+        assert ring.full
+        with pytest.raises(QueueFullError):
+            ring.enqueue(desc(9), ops)
+
+    def test_wraparound(self, ring):
+        ops = OpCounter()
+        for i in range(4):
+            ring.enqueue(desc(i), ops)
+        ring.pop(ops)
+        ring.pop(ops)
+        ring.enqueue(desc(4), ops)
+        ring.enqueue(desc(5), ops)
+        assert [ring.pop(ops).frame.seqno for _ in range(4)] == [2, 3, 4, 5]
+
+    def test_counters(self, ring):
+        ops = OpCounter()
+        for i in range(3):
+            ring.enqueue(desc(i), ops)
+        ring.pop(ops)
+        assert ring.enqueued_total == 3
+        assert ring.dequeued_total == 1
+        assert len(ring) == 2
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            CircularBufferQueue("s", capacity=0)
+
+
+class TestOpProfiles:
+    def test_memory_ring_charges_mem_ops(self):
+        ring = CircularBufferQueue("s1", capacity=4)
+        ops = OpCounter()
+        ring.enqueue(desc(0), ops)
+        ring.pop(ops)
+        assert ops.mem_writes > 0
+        assert ops.mem_reads > 0
+        assert ops.mmio_reads == 0
+        assert ops.mmio_writes == 0
+
+    def test_hardware_ring_charges_mmio_for_slots(self):
+        ring = HardwareQueueRing("s1", HardwareQueueFile(), base=0, capacity=4)
+        ops = OpCounter()
+        ring.enqueue(desc(0), ops)
+        ring.pop(ops)
+        assert ops.mmio_writes >= 1
+        assert ops.mmio_reads >= 1
+
+    def test_hardware_ring_register_window_bounds(self):
+        hq = HardwareQueueFile()
+        with pytest.raises(ValueError):
+            HardwareQueueRing("s1", hq, base=1000, capacity=10)
+        # exactly at the end is fine
+        HardwareQueueRing("s1", hq, base=1000, capacity=4)
+
+    def test_hardware_ring_handle_table_bounded(self):
+        ring = HardwareQueueRing("s1", HardwareQueueFile(), base=0, capacity=4)
+        ops = OpCounter()
+        for i in range(100):
+            ring.enqueue(desc(i), ops)
+            ring.pop(ops)
+        assert len(ring._handles) <= ring.capacity
+
+    def test_two_rings_share_register_file(self):
+        hq = HardwareQueueFile()
+        r1 = HardwareQueueRing("s1", hq, base=0, capacity=8)
+        r2 = HardwareQueueRing("s2", hq, base=8, capacity=8)
+        ops = OpCounter()
+        r1.enqueue(desc(1, "s1"), ops)
+        r2.enqueue(desc(2, "s2"), ops)
+        assert r1.pop(ops).frame.stream_id == "s1"
+        assert r2.pop(ops).frame.stream_id == "s2"

@@ -1,0 +1,117 @@
+"""Service-tag intra-stream ordering (paper §3.1.1's FCFS alternative)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import DWCSScheduler, QueueFullError, StreamSpec, TaggedQueue
+from repro.fixedpoint import OpCounter
+from repro.media import FrameType, MediaFrame
+from repro.media.frames import FrameDescriptor
+
+
+def desc(seq, pts, stream="s1"):
+    return FrameDescriptor(
+        frame=MediaFrame(stream, seq, FrameType.I, 1000, pts_us=pts),
+        deadline_us=float(seq),
+    )
+
+
+class TestTaggedQueue:
+    def test_serves_lowest_tag_first(self):
+        q = TaggedQueue("s1", capacity=8)
+        ops = OpCounter()
+        for seq, pts in [(0, 300.0), (1, 100.0), (2, 200.0)]:
+            q.enqueue(desc(seq, pts), ops)
+        order = [q.pop(ops).frame.pts_us for _ in range(3)]
+        assert order == [100.0, 200.0, 300.0]
+
+    def test_equal_tags_fifo(self):
+        q = TaggedQueue("s1", capacity=8)
+        ops = OpCounter()
+        for seq in range(4):
+            q.enqueue(desc(seq, 50.0), ops)
+        assert [q.pop(ops).frame.seqno for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_head_peeks(self):
+        q = TaggedQueue("s1", capacity=8)
+        ops = OpCounter()
+        q.enqueue(desc(0, 900.0), ops)
+        q.enqueue(desc(1, 100.0), ops)
+        assert q.head(ops).frame.seqno == 1
+        assert len(q) == 2
+
+    def test_capacity_enforced(self):
+        q = TaggedQueue("s1", capacity=2)
+        ops = OpCounter()
+        q.enqueue(desc(0, 1.0), ops)
+        q.enqueue(desc(1, 2.0), ops)
+        assert q.full
+        with pytest.raises(QueueFullError):
+            q.enqueue(desc(2, 3.0), ops)
+
+    def test_empty_behaviour(self):
+        q = TaggedQueue("s1")
+        assert q.empty
+        assert q.head(OpCounter()) is None
+        with pytest.raises(IndexError):
+            q.pop(OpCounter())
+
+    def test_counters(self):
+        q = TaggedQueue("s1")
+        ops = OpCounter()
+        q.enqueue(desc(0, 1.0), ops)
+        q.enqueue(desc(1, 2.0), ops)
+        q.pop(ops)
+        assert q.enqueued_total == 2
+        assert q.dequeued_total == 1
+        assert len(q) == 1
+
+    def test_ops_charged_logarithmically(self):
+        q = TaggedQueue("s1", capacity=1024)
+        ops = OpCounter()
+        for i in range(512):
+            q.enqueue(desc(i, float(i)), ops)
+        # ~log2(n) charges per op, far below O(n) per op
+        assert ops.mem_writes < 512 * 16
+
+    @given(pts=st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=64))
+    def test_drains_in_tag_order(self, pts):
+        q = TaggedQueue("s1", capacity=128)
+        ops = OpCounter()
+        for i, p in enumerate(pts):
+            q.enqueue(desc(i, p), ops)
+        out = [q.pop(ops).frame.pts_us for _ in range(len(pts))]
+        assert out == sorted(out)
+
+
+class TestSchedulerWithTaggedQueues:
+    def test_intra_stream_reordering_by_pts(self):
+        """A stream whose frames arrive out of presentation order (e.g.
+        decode order) is served in pts order under the tagged discipline."""
+        s = DWCSScheduler(
+            queue_factory=lambda sid: TaggedQueue(sid), work_conserving=True
+        )
+        s.add_stream(StreamSpec("s1", period_us=1000.0, loss_x=1, loss_y=4))
+        # decode order: I(0ms) P(99ms) B(33ms) B(66ms)
+        arrival = [(0, 0.0), (1, 99_000.0), (2, 33_000.0), (3, 66_000.0)]
+        for seq, pts in arrival:
+            s.enqueue(MediaFrame("s1", seq, FrameType.I, 1000, pts_us=pts), 0.0)
+        served = []
+        while s.backlog:
+            d = s.schedule(0.0)
+            if d.serviced:
+                served.append(d.serviced.frame.pts_us)
+        assert served == [0.0, 33_000.0, 66_000.0, 99_000.0]
+
+    def test_fcfs_ring_keeps_arrival_order(self):
+        s = DWCSScheduler(work_conserving=True)  # default ring = FCFS
+        s.add_stream(StreamSpec("s1", period_us=1000.0, loss_x=1, loss_y=4))
+        for seq, pts in [(0, 0.0), (1, 99_000.0), (2, 33_000.0)]:
+            s.enqueue(MediaFrame("s1", seq, FrameType.I, 1000, pts_us=pts), 0.0)
+        served = []
+        while s.backlog:
+            d = s.schedule(0.0)
+            if d.serviced:
+                served.append(d.serviced.frame.seqno)
+        assert served == [0, 1, 2]

@@ -1,0 +1,175 @@
+"""Distributed DVCM: cluster-wide instruction invocation over the SAN."""
+
+import pytest
+
+from repro.core import DWCSScheduler, StreamingEngine, StreamSpec
+from repro.dvcm import (
+    DVCMNode,
+    ExtensionModule,
+    MediaSchedulerExtension,
+    MessageQueuePair,
+    RemoteCallError,
+    RemoteVCM,
+    VCMRuntime,
+)
+from repro.hw import CPU, EthernetPort, EthernetSwitch, I960RDCard, PCISegment
+from repro.media import FrameType, MediaFrame, MPEGClient
+from repro.rtos import WindScheduler
+from repro.sim import Environment, RandomStreams, S
+
+
+def build_node(env, san, idx, lossy=False):
+    """One cluster node: i960 card, VxWorks, VCM runtime, DVCM export."""
+    segment = PCISegment(env, f"n{idx}.pci")
+    card = I960RDCard(env, segment, name=f"n{idx}.i2o")
+    san.attach(card.eth_ports[1])
+    vxworks = WindScheduler(env, cpu_spec=card.cpu.spec, name=f"n{idx}.vx")
+    queues = MessageQueuePair(env, segment, name=f"n{idx}.q")
+    runtime = VCMRuntime(env, queues, card.cpu, name=f"n{idx}.vcm")
+    vxworks.spawn("tVCM", runtime.task_body, priority=60)
+    node = DVCMNode(env, runtime, card.eth_ports[1], card.stack)
+    return card, vxworks, runtime, node
+
+
+@pytest.fixture
+def cluster():
+    env = Environment()
+    san = EthernetSwitch(env, name="san")
+    nodes = [build_node(env, san, i) for i in range(3)]
+    return env, san, nodes
+
+
+def counter_extension():
+    mod = ExtensionModule("ctr")
+    state = {"n": 0}
+
+    def bump(payload):
+        state["n"] += payload.get("by", 1)
+        return state["n"]
+
+    mod.provide("bump", bump)
+    mod.provide("read", lambda payload: state["n"])
+    return mod
+
+
+class TestRemoteInvocation:
+    def test_call_across_nodes(self, cluster):
+        env, _san, nodes = cluster
+        _card0, _vx0, runtime0, node0 = nodes[0]
+        card1, *_ = nodes[1]
+        runtime0.load_extension(counter_extension())
+        caller = RemoteVCM(env, card1.eth_ports[1], card1.stack)
+
+        def app():
+            a = yield from caller.call(node0.san_address, "ctr.bump", {"by": 5})
+            b = yield from caller.call(node0.san_address, "ctr.read")
+            return a, b
+
+        a, b = env.run(until=env.process(app()))
+        assert (a, b) == (5, 5)
+        assert node0.remote_calls_served == 2
+
+    def test_remote_error_propagates(self, cluster):
+        env, _san, nodes = cluster
+        _c0, _v0, _r0, node0 = nodes[0]
+        card1, *_ = nodes[1]
+        caller = RemoteVCM(env, card1.eth_ports[1], card1.stack)
+
+        def app():
+            yield from caller.call(node0.san_address, "no.such_instruction")
+
+        with pytest.raises(RemoteCallError, match="unknown instruction"):
+            env.run(until=env.process(app()))
+
+    def test_two_callers_one_server(self, cluster):
+        env, _san, nodes = cluster
+        _c0, _v0, runtime0, node0 = nodes[0]
+        runtime0.load_extension(counter_extension())
+        results = []
+        for idx in (1, 2):
+            card, *_ = nodes[idx]
+            caller = RemoteVCM(env, card.eth_ports[1], card.stack)
+
+            def app(caller=caller):
+                got = yield from caller.call(node0.san_address, "ctr.bump")
+                results.append(got)
+
+            env.process(app())
+        env.run(until=30 * S)
+        assert sorted(results) == [1, 2]
+
+    def test_remote_calls_survive_lossy_san(self):
+        env = Environment()
+        san = EthernetSwitch(
+            env, name="san", loss_rate=0.2,
+            loss_rng=RandomStreams(17).stream("san"),
+        )
+        nodes = [build_node(env, san, i) for i in range(2)]
+        _c0, _v0, runtime0, node0 = nodes[0]
+        card1, *_ = nodes[1]
+        runtime0.load_extension(counter_extension())
+        caller = RemoteVCM(env, card1.eth_ports[1], card1.stack)
+
+        def app():
+            out = []
+            for _ in range(10):
+                got = yield from caller.call(node0.san_address, "ctr.bump")
+                out.append(got)
+            return out
+
+        out = env.run(until=env.process(app()))
+        assert out == list(range(1, 11))  # exactly-once despite 20% loss
+
+
+class TestDistributedMediaScheduling:
+    def test_remote_node_feeds_the_scheduler_ni(self, cluster):
+        """A peer node opens a stream and submits frames to another node's
+        media scheduler entirely over the SAN — 'media streams entering the
+        NI from the network' (paper §1)."""
+        env, san, nodes = cluster
+        card0, vx0, runtime0, node0 = nodes[0]
+        card1, *_ = nodes[1]
+        # node 0 runs the media extension; clients attach on eth0
+        client_port = EthernetPort(env, "viewer")
+        san.attach(client_port)  # reuse the san switch for delivery
+        client = MPEGClient(env, "viewer", client_port)
+        scheduler = DWCSScheduler(work_conserving=False)
+        sent = []
+
+        def transmit(desc):
+            from repro.hw.ethernet import NetFrame
+
+            frame = NetFrame(
+                payload_bytes=desc.size_bytes,
+                stream_id=desc.stream_id,
+                seqno=desc.frame.seqno,
+            )
+            yield from card0.eth_ports[1].send(frame, "viewer")
+            sent.append(desc)
+
+        engine = StreamingEngine(env, scheduler, card0.cpu, transmit)
+        vx0.spawn("tDWCS", engine.task_body, priority=100)
+        runtime0.load_extension(MediaSchedulerExtension(engine))
+
+        caller = RemoteVCM(env, card1.eth_ports[1], card1.stack)
+
+        def remote_producer():
+            yield from caller.call(
+                node0.san_address,
+                "media.open_stream",
+                {"stream_id": "relay", "period_us": 50_000.0, "loss_x": 1, "loss_y": 4},
+            )
+            for k in range(15):
+                frame = MediaFrame("relay", k, FrameType.I, 1500, 0.0)
+                yield from caller.call(
+                    node0.san_address,
+                    "media.submit_frame",
+                    {"frame": frame},
+                    payload_bytes=1500,
+                )
+                yield env.timeout(25_000.0)
+
+        env.process(remote_producer())
+        env.run(until=5 * S)
+        assert len(sent) == 15
+        assert client.reception("relay").frames_received == 15

@@ -1,0 +1,40 @@
+"""The python -m repro.experiments command-line runner."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+def test_list(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "table1" in out
+    assert "figure10" in out
+    assert "ext_ni_balance" in out
+
+
+def test_run_selected(capsys):
+    assert main(["table5"]) == 0
+    out = capsys.readouterr().out
+    assert "PCI Card-to-Card" in out
+    assert "66.27" in out
+
+
+def test_unknown_experiment_errors():
+    with pytest.raises(SystemExit):
+        main(["not_a_table"])
+
+
+def test_plots_artifacts(tmp_path, capsys):
+    assert main(["table5", "--plots", str(tmp_path)]) == 0
+    artifact = tmp_path / "table5.txt"
+    assert artifact.exists()
+    text = artifact.read_text()
+    assert "PCI Card-to-Card" in text
+
+
+def test_plots_include_ascii_series(tmp_path, capsys):
+    assert main(["figure6", "--plots", str(tmp_path)]) == 0
+    text = (tmp_path / "figure6.txt").read_text()
+    assert "util:none" in text
+    assert "*" in text  # a plotted point

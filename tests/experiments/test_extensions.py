@@ -1,0 +1,77 @@
+"""Extension experiments: stream scaling, jitter, admission sweep."""
+
+import pytest
+
+from repro.experiments import admission_sweep, jitter_comparison, stream_scaling
+from repro.sim import S
+
+
+@pytest.fixture(scope="module")
+def scaling():
+    return stream_scaling(stream_counts=(2, 8), duration_us=25 * S)
+
+
+class TestStreamScaling:
+    def test_every_stream_gets_its_rate(self, scaling):
+        for n in (2, 8):
+            row = scaling.row(f"mean per-stream bandwidth (n={n})")
+            assert row.measured == pytest.approx(200_000.0, rel=0.10)
+
+    def test_fairness_near_one(self, scaling):
+        for n in (2, 8):
+            assert scaling.row(f"Jain fairness index (n={n})").measured > 0.98
+
+    def test_decision_cost_grows_with_n(self, scaling):
+        small = scaling.row("per-frame scheduling time (n=2)").measured
+        big = scaling.row("per-frame scheduling time (n=8)").measured
+        assert big > small
+
+    def test_series_present(self, scaling):
+        assert any(s.name == "decision-cost" for s in scaling.series)
+
+
+class TestAdmissionSweep:
+    def test_lossier_classes_admit_more(self):
+        result = admission_sweep()
+        zero = result.row("admitted streams (zero-loss 30fps)").measured
+        quarter = result.row("admitted streams (1/4-loss 30fps)").measured
+        half = result.row("admitted streams (1/2-loss 30fps)").measured
+        assert zero < quarter < half
+
+    def test_longer_periods_admit_more(self):
+        result = admission_sweep()
+        fast = result.row("admitted streams (1/2-loss 30fps)").measured
+        slow = result.row("admitted streams (1/2-loss 4fps)").measured
+        assert slow > 5 * fast
+
+    def test_counts_match_closed_form(self):
+        result = admission_sweep(utilization_bound=0.85, service_time_us=95.0)
+        # zero-loss 30fps: share = 95/33333 each
+        expected = int(0.85 / (95.0 / 33_333.0))
+        assert result.row("admitted streams (zero-loss 30fps)").measured == expected
+
+
+class TestJitter:
+    def test_ni_jitter_no_worse_than_host_under_load(self):
+        result = jitter_comparison(duration_us=60 * S)
+        host = result.row("host: inter-arrival stdev").measured
+        ni = result.row("ni: inter-arrival stdev").measured
+        assert ni <= host
+
+
+class TestNIBalance:
+    def test_second_scheduler_ni_raises_the_ceiling(self):
+        from repro.experiments import ni_balance
+
+        result = ni_balance(stream_counts=(8, 32), duration_us=12 * S)
+        # underloaded: one card suffices
+        one_small = result.row("delivered, 1 scheduler NI (n=8)").measured
+        two_small = result.row("delivered, 2 scheduler NIs (n=8)").measured
+        assert one_small == pytest.approx(two_small, rel=0.05)
+        assert one_small == pytest.approx(8_000_000.0, rel=0.10)
+        # overloaded: the second card roughly doubles delivery
+        one_big = result.row("delivered, 1 scheduler NI (n=32)").measured
+        two_big = result.row("delivered, 2 scheduler NIs (n=32)").measured
+        assert two_big > 1.6 * one_big
+        # and the single card's ceiling binds well below offered load
+        assert one_big < 0.6 * result.row("offered (n=32)").measured

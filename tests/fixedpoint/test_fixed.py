@@ -1,0 +1,93 @@
+"""Q16.16 fixed-point scalar behaviour."""
+
+import pytest
+
+from repro.fixedpoint import SCALE, FixedQ16
+
+
+class TestConstruction:
+    def test_from_int(self):
+        assert FixedQ16.from_int(3).to_float() == 3.0
+        assert FixedQ16.from_int(-3).to_float() == -3.0
+
+    def test_from_float_rounding(self):
+        assert FixedQ16.from_float(0.5).raw == SCALE // 2
+
+    def test_from_fraction_power_of_two_exact(self):
+        assert FixedQ16.from_fraction(1, 2).to_float() == 0.5
+        assert FixedQ16.from_fraction(3, 4).to_float() == 0.75
+        assert FixedQ16.from_fraction(1, 1).to_float() == 1.0
+
+    def test_from_fraction_general_denominator(self):
+        # 1/3 to Q16.16 precision
+        assert FixedQ16.from_fraction(1, 3).to_float() == pytest.approx(1 / 3, abs=2 / SCALE)
+
+    def test_from_fraction_bad_denominator(self):
+        with pytest.raises(ValueError):
+            FixedQ16.from_fraction(1, 0)
+
+    def test_raw_must_be_int(self):
+        with pytest.raises(TypeError):
+            FixedQ16(1.5)
+
+    def test_saturation(self):
+        big = FixedQ16.from_int(1 << 20)  # overflows Q16.16
+        assert big.raw == (1 << 31) - 1
+        small = FixedQ16.from_int(-(1 << 20))
+        assert small.raw == -(1 << 31)
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        a, b = FixedQ16.from_float(1.5), FixedQ16.from_float(0.25)
+        assert (a + b).to_float() == 1.75
+        assert (a - b).to_float() == 1.25
+
+    def test_mul(self):
+        a, b = FixedQ16.from_float(1.5), FixedQ16.from_float(2.0)
+        assert (a * b).to_float() == 3.0
+
+    def test_truediv(self):
+        a, b = FixedQ16.from_float(3.0), FixedQ16.from_float(2.0)
+        assert (a / b).to_float() == 1.5
+
+    def test_div_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            FixedQ16.from_int(1) / FixedQ16.from_int(0)
+
+    def test_shift_div(self):
+        a = FixedQ16.from_int(10)
+        assert a.shift_div(1).to_float() == 5.0
+        assert a.shift_div(2).to_float() == 2.5
+
+    def test_shift_div_negative_amount_rejected(self):
+        with pytest.raises(ValueError):
+            FixedQ16.from_int(1).shift_div(-1)
+
+    def test_neg(self):
+        assert (-FixedQ16.from_float(2.5)).to_float() == -2.5
+
+    def test_to_int_truncates_toward_neg_inf(self):
+        assert FixedQ16.from_float(2.7).to_int() == 2
+        assert FixedQ16.from_float(-2.7).to_int() == -3
+
+    def test_precision_two_decimal_places(self):
+        """Paper: scheduler needs 1-2 decimal places; Q16.16 must hold them."""
+        for num, den in [(1, 10), (3, 100), (99, 100), (7, 10)]:
+            fx = FixedQ16.from_fraction(num, den)
+            assert fx.to_float() == pytest.approx(num / den, abs=0.001)
+
+
+class TestComparisons:
+    def test_ordering(self):
+        assert FixedQ16.from_float(0.1) < FixedQ16.from_float(0.2)
+        assert FixedQ16.from_float(0.2) > FixedQ16.from_float(0.1)
+        assert FixedQ16.from_float(0.5) == FixedQ16.from_fraction(1, 2)
+        assert FixedQ16.from_int(1) <= FixedQ16.from_int(1)
+        assert FixedQ16.from_int(1) >= FixedQ16.from_int(1)
+
+    def test_hash_matches_eq(self):
+        assert hash(FixedQ16.from_float(0.5)) == hash(FixedQ16.from_fraction(1, 2))
+
+    def test_not_equal_other_type(self):
+        assert FixedQ16.from_int(1) != 1

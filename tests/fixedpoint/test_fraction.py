@@ -1,0 +1,80 @@
+"""Exact fraction semantics."""
+
+import pytest
+
+from repro.fixedpoint import Fraction
+
+
+class TestConstruction:
+    def test_basic(self):
+        f = Fraction(3, 4)
+        assert f.num == 3
+        assert f.den == 4
+        assert f.value == 0.75
+
+    def test_zero_numerator_allowed(self):
+        assert Fraction(0, 5).is_zero()
+
+    def test_negative_numerator_rejected(self):
+        with pytest.raises(ValueError):
+            Fraction(-1, 2)
+
+    def test_zero_denominator_rejected(self):
+        with pytest.raises(ValueError):
+            Fraction(1, 0)
+
+    def test_negative_denominator_rejected(self):
+        with pytest.raises(ValueError):
+            Fraction(1, -2)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(TypeError):
+            Fraction(1.5, 2)
+
+
+class TestComparison:
+    def test_equality_across_representations(self):
+        assert Fraction(1, 2) == Fraction(2, 4)
+        assert Fraction(3, 4) != Fraction(2, 4)
+
+    def test_ordering(self):
+        assert Fraction(1, 3) < Fraction(1, 2)
+        assert Fraction(2, 3) > Fraction(1, 2)
+        assert Fraction(1, 2) <= Fraction(2, 4)
+        assert Fraction(1, 2) >= Fraction(2, 4)
+
+    def test_zero_sorts_lowest(self):
+        assert Fraction(0, 7) < Fraction(1, 100)
+
+    def test_hash_consistent_with_eq(self):
+        assert hash(Fraction(1, 2)) == hash(Fraction(2, 4))
+
+    def test_not_equal_to_other_types(self):
+        assert Fraction(1, 2) != 0.5
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert Fraction(1, 2) + Fraction(1, 3) == Fraction(5, 6)
+
+    def test_sub(self):
+        assert Fraction(1, 2) - Fraction(1, 3) == Fraction(1, 6)
+
+    def test_sub_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Fraction(1, 3) - Fraction(1, 2)
+
+    def test_mul(self):
+        assert Fraction(2, 3) * Fraction(3, 4) == Fraction(1, 2)
+
+    def test_normalized(self):
+        n = Fraction(4, 8).normalized()
+        assert (n.num, n.den) == (1, 2)
+
+    def test_normalized_already_canonical_returns_self(self):
+        f = Fraction(1, 2)
+        assert f.normalized() is f
+
+    def test_bool(self):
+        assert Fraction(1, 2)
+        assert not Fraction(0, 2)

@@ -1,0 +1,114 @@
+"""CPU cost model and data cache behaviour."""
+
+import pytest
+
+from repro.fixedpoint import OpCounter
+from repro.hw import (
+    CPU,
+    CPUSpec,
+    DataCache,
+    I960RD_66,
+    PENTIUM_PRO_200,
+    ULTRASPARC_300,
+)
+
+
+class TestDataCache:
+    def test_disabled_cache_never_hits(self):
+        c = DataCache(hit_ratio=0.9, enabled=False)
+        assert c.effective_hit_ratio() == 0.0
+
+    def test_enabled_cache_uses_base_ratio(self):
+        c = DataCache(hit_ratio=0.9, enabled=True)
+        assert c.effective_hit_ratio() == 0.9
+
+    def test_enable_disable(self):
+        c = DataCache(enabled=False)
+        c.enable()
+        assert c.enabled
+        c.disable()
+        assert not c.enabled
+
+    def test_working_set_within_capacity_full_ratio(self):
+        c = DataCache(size_bytes=4096, hit_ratio=0.9, enabled=True)
+        assert c.effective_hit_ratio(working_set_bytes=2048) == 0.9
+
+    def test_working_set_beyond_capacity_degrades(self):
+        c = DataCache(size_bytes=4096, hit_ratio=0.9, enabled=True)
+        assert c.effective_hit_ratio(working_set_bytes=8192) == pytest.approx(0.45)
+
+    def test_invalid_hit_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            DataCache(hit_ratio=1.5)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            DataCache(size_bytes=0)
+
+
+class TestCPUSpec:
+    def test_cycle_time(self):
+        assert I960RD_66.cycle_us == pytest.approx(1 / 66.0)
+        assert PENTIUM_PRO_200.cycle_us == pytest.approx(0.005)
+
+    def test_i960_has_no_fpu(self):
+        assert not I960RD_66.has_fpu
+        assert PENTIUM_PRO_200.has_fpu
+        assert ULTRASPARC_300.has_fpu
+
+
+class TestCPUCostModel:
+    def test_int_ops_cost_alu_cycles(self):
+        cpu = CPU(I960RD_66)
+        t = cpu.time_for(OpCounter(int_ops=66))
+        assert t == pytest.approx(66 * I960RD_66.int_op_cycles / 66.0)
+
+    def test_fp_emulation_much_more_expensive_than_int(self):
+        cpu = CPU(I960RD_66)
+        t_fp = cpu.time_for(OpCounter(fp_ops=10))
+        t_int = cpu.time_for(OpCounter(int_ops=10))
+        assert t_fp > 20 * t_int
+
+    def test_fpu_machines_price_fp_cheaply(self):
+        cpu = CPU(PENTIUM_PRO_200)
+        t_fp = cpu.time_for(OpCounter(fp_ops=10))
+        t_int = cpu.time_for(OpCounter(int_ops=10))
+        assert t_fp <= 5 * t_int
+
+    def test_cache_enabled_reduces_memory_cost(self):
+        ops = OpCounter(mem_reads=100)
+        cold = CPU(I960RD_66, cache=DataCache(enabled=False))
+        warm = CPU(I960RD_66, cache=DataCache(hit_ratio=0.9, enabled=True))
+        assert warm.time_for(ops) < cold.time_for(ops) / 3
+
+    def test_mmio_cost_independent_of_cache(self):
+        ops = OpCounter(mmio_reads=50, mmio_writes=50)
+        cold = CPU(I960RD_66, cache=DataCache(enabled=False))
+        warm = CPU(I960RD_66, cache=DataCache(hit_ratio=0.9, enabled=True))
+        assert cold.time_for(ops) == warm.time_for(ops)
+
+    def test_same_ops_slower_on_slower_clock(self):
+        ops = OpCounter(int_ops=1000, mem_reads=100)
+        slow = CPU(I960RD_66, cache=DataCache(enabled=False))
+        fast = CPU(
+            CPUSpec(name="fast-i960", clock_mhz=264.0, has_fpu=False),
+            cache=DataCache(enabled=False),
+        )
+        assert slow.time_for(ops) == pytest.approx(4 * fast.time_for(ops))
+
+    def test_cycle_accounting_accumulates(self):
+        cpu = CPU(I960RD_66)
+        cpu.time_for(OpCounter(int_ops=10))
+        cpu.time_for(OpCounter(int_ops=5))
+        assert cpu.cycles_charged == 15 * I960RD_66.int_op_cycles
+
+    def test_time_us_raw_cycles(self):
+        cpu = CPU(I960RD_66)
+        assert cpu.time_us(66.0) == pytest.approx(1.0)
+
+    def test_working_set_passthrough(self):
+        cache = DataCache(size_bytes=1024, hit_ratio=0.9, enabled=True)
+        cpu = CPU(I960RD_66, cache=cache)
+        small = cpu.time_for(OpCounter(mem_reads=100), working_set_bytes=512)
+        big = cpu.time_for(OpCounter(mem_reads=100), working_set_bytes=4096)
+        assert big > small

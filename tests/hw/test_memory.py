@@ -1,0 +1,93 @@
+"""Memory regions and the hardware-queue register file."""
+
+import pytest
+
+from repro.fixedpoint import OpCounter
+from repro.hw import MB, HardwareQueueFile, MemoryRegion, OutOfMemoryError
+
+
+class TestMemoryRegion:
+    def test_capacity_accounting(self):
+        mem = MemoryRegion(4 * MB, name="ni")
+        a = mem.allocate(1 * MB, tag="frames")
+        assert mem.used_bytes == 1 * MB
+        assert mem.free_bytes == 3 * MB
+        a.free()
+        assert mem.used_bytes == 0
+
+    def test_oom_raises(self):
+        mem = MemoryRegion(1024)
+        mem.allocate(1000)
+        with pytest.raises(OutOfMemoryError):
+            mem.allocate(100)
+
+    def test_peak_tracking(self):
+        mem = MemoryRegion(4096)
+        a = mem.allocate(3000)
+        a.free()
+        mem.allocate(100)
+        assert mem.peak_bytes == 3000
+
+    def test_double_free_is_noop(self):
+        mem = MemoryRegion(4096)
+        a = mem.allocate(100)
+        a.free()
+        a.free()
+        assert mem.used_bytes == 0
+
+    def test_tagged_live_allocations(self):
+        mem = MemoryRegion(4096)
+        mem.allocate(10, tag="desc")
+        mem.allocate(20, tag="frame")
+        mem.allocate(30, tag="desc")
+        descs = mem.live_allocations("desc")
+        assert len(descs) == 2
+        assert {a.size for a in descs} == {10, 30}
+        assert len(mem.live_allocations()) == 3
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryRegion(0)
+        with pytest.raises(ValueError):
+            MemoryRegion(1024).allocate(0)
+
+    def test_i960_board_memory_is_pinned(self):
+        mem = MemoryRegion(4 * MB, pinned=True)
+        assert mem.pinned
+
+
+class TestHardwareQueueFile:
+    def test_register_count_matches_i960rd(self):
+        """The i960 RD exposes exactly 1004 32-bit queue registers."""
+        assert len(HardwareQueueFile()) == 1004
+
+    def test_read_write_roundtrip(self):
+        hq = HardwareQueueFile()
+        hq.write(0, 0xDEADBEEF)
+        assert hq.read(0) == 0xDEADBEEF
+
+    def test_values_truncated_to_32_bits(self):
+        hq = HardwareQueueFile()
+        hq.write(10, 0x1_0000_0001)
+        assert hq.read(10) == 1
+
+    def test_out_of_range_rejected(self):
+        hq = HardwareQueueFile()
+        with pytest.raises(IndexError):
+            hq.read(1004)
+        with pytest.raises(IndexError):
+            hq.write(-1, 0)
+
+    def test_non_int_value_rejected(self):
+        with pytest.raises(TypeError):
+            HardwareQueueFile().write(0, "x")
+
+    def test_accesses_tally_mmio_ops(self):
+        ops = OpCounter()
+        hq = HardwareQueueFile(ops=ops)
+        hq.write(5, 1)
+        hq.write(6, 2)
+        hq.read(5)
+        assert ops.mmio_writes == 2
+        assert ops.mmio_reads == 1
+        assert ops.mem_reads == 0  # MMIO bypasses normal memory accounting

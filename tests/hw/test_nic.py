@@ -1,0 +1,90 @@
+"""I960RDCard / Intel82557NIC composites and the disk-vs-cache constraint."""
+
+import pytest
+
+from repro.hw import I960RDCard, Intel82557NIC, MB, PCISegment
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def segment(env):
+    return PCISegment(env, "pci0")
+
+
+class TestI960RDCard:
+    def test_default_configuration(self, env, segment):
+        card = I960RDCard(env, segment)
+        assert card.memory.capacity_bytes == 4 * MB
+        assert len(card.hardware_queues) == 1004
+        assert len(card.eth_ports) == 2
+        assert not card.cpu.spec.has_fpu
+        assert card.cpu.spec.clock_mhz == 66.0
+        assert card in segment.devices
+
+    def test_memory_expandable_to_36mb(self, env, segment):
+        card = I960RDCard(env, segment, memory_mb=36)
+        assert card.memory.capacity_bytes == 36 * MB
+
+    def test_memory_bounds_enforced(self, env, segment):
+        with pytest.raises(ValueError):
+            I960RDCard(env, segment, memory_mb=2)
+        with pytest.raises(ValueError):
+            I960RDCard(env, segment, memory_mb=64)
+
+    def test_cache_off_by_default(self, env, segment):
+        assert not I960RDCard(env, segment).cache.enabled
+
+    def test_diskless_card_can_enable_cache(self, env, segment):
+        card = I960RDCard(env, segment)
+        card.enable_data_cache()
+        assert card.cache.enabled
+
+    def test_attaching_disk_disables_cache(self, env, segment):
+        """VxWorks SCSI driver constraint (paper §4.2)."""
+        card = I960RDCard(env, segment)
+        card.enable_data_cache()
+        card.attach_disk()
+        assert not card.cache.enabled
+
+    def test_disk_attached_card_cannot_enable_cache(self, env, segment):
+        card = I960RDCard(env, segment)
+        card.attach_disk()
+        with pytest.raises(RuntimeError):
+            card.enable_data_cache()
+
+    def test_two_scsi_ports_max(self, env, segment):
+        card = I960RDCard(env, segment)
+        card.attach_disk()
+        card.attach_disk()
+        with pytest.raises(RuntimeError):
+            card.attach_disk()
+
+    def test_attach_disk_returns_dosfs(self, env, segment):
+        card = I960RDCard(env, segment)
+        fs = card.attach_disk()
+        assert fs.fstype == "dosfs"
+        assert card.has_disks
+        assert len(card.disks) == 1
+        assert len(card.filesystems) == 1
+
+    def test_pinned_memory(self, env, segment):
+        assert I960RDCard(env, segment).memory.pinned
+
+    def test_three_cards_on_one_segment(self, env, segment):
+        """The paper's Table 1-3 setup: three I2O cards on one bus segment."""
+        cards = [I960RDCard(env, segment, name=f"i2o{i}") for i in range(3)]
+        assert len(segment.devices) == 3
+        assert {c.name for c in cards} == {"i2o0", "i2o1", "i2o2"}
+
+
+class TestIntel82557:
+    def test_plain_nic(self, env, segment):
+        nic = Intel82557NIC(env, segment)
+        assert nic.eth_port is not None
+        assert nic in segment.devices
+        assert not hasattr(nic, "cpu")

@@ -1,0 +1,113 @@
+"""Byte-level MPEG serialization and the segmentation program."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.media import (
+    BitstreamError,
+    BitstreamSegmenter,
+    FrameType,
+    MPEGEncoder,
+    serialize,
+)
+from repro.media.bitstream import (
+    PICTURE_START,
+    SEQUENCE_END,
+    SEQUENCE_START,
+)
+from repro.sim import RandomStreams
+
+
+def make_file(n=24, seed=0, fps=30.0):
+    return MPEGEncoder(fps=fps, rng=RandomStreams(seed)).encode("m", n)
+
+
+class TestSerialize:
+    def test_structure_markers(self):
+        data = serialize(make_file(6))
+        assert data.startswith(SEQUENCE_START)
+        assert data.endswith(SEQUENCE_END)
+        # at least one marker per picture; header/payload bytes may emulate
+        # the pattern (the parser is position-based, not scanning, so
+        # emulated codes are harmless)
+        assert data.count(PICTURE_START) >= 6
+
+    def test_size_accounts_for_payloads(self):
+        f = make_file(12)
+        data = serialize(f)
+        assert len(data) > f.size_bytes  # payloads + headers
+
+
+class TestSegmenter:
+    def test_roundtrip_one_shot(self):
+        f = make_file(24)
+        frames = BitstreamSegmenter("m").segment_all(serialize(f))
+        assert len(frames) == 24
+        for original, parsed in zip(f.frames, frames):
+            assert parsed.seqno == original.seqno
+            assert parsed.ftype == original.ftype
+            assert parsed.size_bytes == original.size_bytes
+            assert parsed.pts_us == pytest.approx(original.pts_us)
+
+    def test_incremental_chunked_parsing(self):
+        f = make_file(24)
+        data = serialize(f)
+        seg = BitstreamSegmenter("m")
+        frames = []
+        chunk = 1000
+        for i in range(0, len(data), chunk):
+            frames.extend(seg.push(data[i : i + chunk]))
+        assert seg.finished
+        assert len(frames) == 24
+        assert seg.fps == pytest.approx(30.0)
+        assert seg.expected_frames == 24
+
+    def test_truncated_stream_detected(self):
+        data = serialize(make_file(6))
+        seg = BitstreamSegmenter("m")
+        with pytest.raises(BitstreamError, match="truncated"):
+            seg.segment_all(data[:-10])
+
+    def test_frame_count_mismatch_detected(self):
+        data = bytearray(serialize(make_file(6)))
+        # drop the last picture by splicing sequence-end right after frame 4
+        second_last = data.rfind(PICTURE_START)
+        data[second_last:] = SEQUENCE_END
+        with pytest.raises(BitstreamError, match="promised"):
+            BitstreamSegmenter("m").segment_all(bytes(data))
+
+    def test_garbage_rejected(self):
+        with pytest.raises(BitstreamError, match="bad start code"):
+            BitstreamSegmenter("m").push(b"\xde\xad\xbe\xef")
+
+    def test_picture_before_sequence_rejected(self):
+        data = serialize(make_file(2))
+        body = data[len(SEQUENCE_START) + 8 :]  # skip sequence header
+        with pytest.raises(BitstreamError, match="picture before sequence"):
+            BitstreamSegmenter("m").push(body)
+
+    def test_push_after_end_rejected(self):
+        seg = BitstreamSegmenter("m")
+        seg.segment_all(serialize(make_file(2)))
+        with pytest.raises(BitstreamError):
+            seg.push(b"\x00")
+
+    @given(
+        n=st.integers(1, 40),
+        fps=st.sampled_from([24.0, 25.0, 30.0]),
+        chunk=st.integers(1, 5000),
+        seed=st.integers(0, 5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_any_chunking(self, n, fps, chunk, seed):
+        f = MPEGEncoder(fps=fps, rng=RandomStreams(seed)).encode("m", n)
+        data = serialize(f)
+        seg = BitstreamSegmenter("m")
+        frames = []
+        for i in range(0, len(data), chunk):
+            frames.extend(seg.push(data[i : i + chunk]))
+        assert seg.finished
+        assert [(x.seqno, x.ftype, x.size_bytes) for x in frames] == [
+            (x.seqno, x.ftype, x.size_bytes) for x in f.frames
+        ]

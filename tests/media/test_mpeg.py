@@ -1,0 +1,117 @@
+"""Synthetic MPEG encoding and segmentation."""
+
+import pytest
+
+from repro.media import (
+    FrameType,
+    GOPStructure,
+    MPEGEncoder,
+    MediaFrame,
+    segment,
+)
+from repro.sim import RandomStreams
+
+
+class TestGOPStructure:
+    def test_default_pattern_is_ibbpbb(self):
+        pattern = GOPStructure(n=12, m=3).pattern()
+        assert pattern[0] == FrameType.I
+        assert pattern[3] == FrameType.P
+        assert pattern[1] == pattern[2] == FrameType.B
+        assert len(pattern) == 12
+        assert pattern.count(FrameType.I) == 1
+        assert pattern.count(FrameType.P) == 3
+        assert pattern.count(FrameType.B) == 8
+
+    def test_m1_has_no_b_frames(self):
+        pattern = GOPStructure(n=6, m=1).pattern()
+        assert FrameType.B not in pattern
+
+    def test_invalid_gop_rejected(self):
+        with pytest.raises(ValueError):
+            GOPStructure(n=0, m=1)
+        with pytest.raises(ValueError):
+            GOPStructure(n=10, m=3)  # N not multiple of M
+
+
+class TestMediaFrame:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MediaFrame("s", 0, FrameType.I, 0, 0.0)
+        with pytest.raises(ValueError):
+            MediaFrame("s", -1, FrameType.I, 100, 0.0)
+
+
+class TestMPEGEncoder:
+    def test_frame_count_and_order(self):
+        f = MPEGEncoder().encode("movie", 30)
+        assert len(f) == 30
+        assert [fr.seqno for fr in f] == list(range(30))
+
+    def test_bitrate_close_to_target(self):
+        enc = MPEGEncoder(bitrate_bps=1_500_000.0, fps=30.0)
+        f = enc.encode("movie", 600)
+        assert f.mean_bitrate_bps == pytest.approx(1_500_000.0, rel=0.10)
+
+    def test_low_bitrate_stream(self):
+        enc = MPEGEncoder(bitrate_bps=250_000.0, fps=24.0)
+        f = enc.encode("s1", 480)
+        assert f.mean_bitrate_bps == pytest.approx(250_000.0, rel=0.10)
+
+    def test_i_frames_bigger_than_p_bigger_than_b(self):
+        f = MPEGEncoder(size_jitter=0.0).encode("movie", 120)
+        mean = lambda t: sum(
+            fr.size_bytes for fr in f if fr.ftype == t
+        ) / max(1, sum(1 for fr in f if fr.ftype == t))
+        assert mean(FrameType.I) > mean(FrameType.P) > mean(FrameType.B)
+
+    def test_deterministic_for_same_seed_and_name(self):
+        a = MPEGEncoder(rng=RandomStreams(7)).encode("m", 50)
+        b = MPEGEncoder(rng=RandomStreams(7)).encode("m", 50)
+        assert [f.size_bytes for f in a] == [f.size_bytes for f in b]
+
+    def test_different_names_differ(self):
+        rng = RandomStreams(7)
+        enc = MPEGEncoder(rng=rng)
+        a = enc.encode("m1", 50)
+        b = enc.encode("m2", 50)
+        assert [f.size_bytes for f in a] != [f.size_bytes for f in b]
+
+    def test_pts_spacing_matches_fps(self):
+        f = MPEGEncoder(fps=25.0).encode("m", 10)
+        gaps = {
+            round(f.frames[i + 1].pts_us - f.frames[i].pts_us)
+            for i in range(9)
+        }
+        assert gaps == {40_000}
+
+    def test_duration(self):
+        f = MPEGEncoder(fps=30.0).encode("m", 90)
+        assert f.duration_us == pytest.approx(3_000_000.0)
+
+    def test_zero_jitter_sizes_exact(self):
+        f = MPEGEncoder(size_jitter=0.0).encode("m", 24)
+        i_sizes = {fr.size_bytes for fr in f if fr.ftype == FrameType.I}
+        assert len(i_sizes) == 1  # all I frames identical without jitter
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MPEGEncoder(bitrate_bps=0)
+        with pytest.raises(ValueError):
+            MPEGEncoder(fps=0)
+        with pytest.raises(ValueError):
+            MPEGEncoder(size_jitter=-0.1)
+        with pytest.raises(ValueError):
+            MPEGEncoder().encode("m", 0)
+
+
+class TestSegment:
+    def test_full_segmentation(self):
+        f = MPEGEncoder().encode("m", 36)
+        assert segment(f) == f.frames
+
+    def test_type_filtered_segmentation(self):
+        f = MPEGEncoder().encode("m", 36)
+        anchors = segment(f, types=[FrameType.I, FrameType.P])
+        assert all(fr.ftype != FrameType.B for fr in anchors)
+        assert len(anchors) == 12  # 3 GOPs x (1 I + 3 P)

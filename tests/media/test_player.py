@@ -1,0 +1,84 @@
+"""MPEG client reception accounting."""
+
+import pytest
+
+from repro.hw import EthernetPort, EthernetSwitch, NetFrame
+from repro.media import MPEGClient
+from repro.sim import Environment
+
+
+@pytest.fixture
+def topology():
+    env = Environment()
+    switch = EthernetSwitch(env)
+    server = EthernetPort(env, "server")
+    client_port = EthernetPort(env, "client")
+    switch.attach(server)
+    switch.attach(client_port)
+    client = MPEGClient(env, "c0", client_port)
+    return env, server, client
+
+
+def send_frames(env, server, frames, gap_us):
+    def sender():
+        for f in frames:
+            yield from server.send(f, "client")
+            yield env.timeout(gap_us)
+
+    env.process(sender())
+
+
+class TestReception:
+    def test_frames_counted_per_stream(self, topology):
+        env, server, client = topology
+        frames = [NetFrame(1000, stream_id="s1", seqno=i) for i in range(5)]
+        frames += [NetFrame(500, stream_id="s2", seqno=i) for i in range(3)]
+        send_frames(env, server, frames, gap_us=1000.0)
+        env.run()
+        assert client.reception("s1").frames_received == 5
+        assert client.reception("s2").frames_received == 3
+        assert client.total_frames == 8
+
+    def test_bytes_and_bandwidth_recorded(self, topology):
+        env, server, client = topology
+        frames = [NetFrame(1250, stream_id="s1", seqno=i) for i in range(60)]
+        send_frames(env, server, frames, gap_us=50_000.0)  # 20/s
+        env.run()
+        rec = client.reception("s1")
+        assert rec.bytes_received == 75_000
+        # steady rate = 1250B * 20/s = 200_000 bps; skip the ramp-up of the
+        # 1s sliding window before judging the settled value
+        assert rec.settled_bandwidth_bps(after_us=1_200_000.0) == pytest.approx(
+            200_000.0, rel=0.10
+        )
+
+    def test_interarrival_jitter_tracked(self, topology):
+        env, server, client = topology
+        frames = [NetFrame(100, stream_id="s1", seqno=i) for i in range(10)]
+        send_frames(env, server, frames, gap_us=10_000.0)
+        env.run()
+        rec = client.reception("s1")
+        assert rec.interarrival_us.count == 9
+        assert rec.interarrival_us.mean == pytest.approx(10_000.0, rel=0.15)
+
+    def test_out_of_order_detection(self, topology):
+        env, server, client = topology
+        frames = [
+            NetFrame(100, stream_id="s1", seqno=s) for s in (0, 1, 3, 2, 4)
+        ]
+        send_frames(env, server, frames, gap_us=1000.0)
+        env.run()
+        assert client.reception("s1").out_of_order == 1
+
+    def test_unknown_stream_raises(self, topology):
+        _env, _server, client = topology
+        with pytest.raises(KeyError):
+            client.reception("nope")
+
+    def test_receive_stack_cost_delays_recording(self, topology):
+        env, server, client = topology
+        send_frames(env, server, [NetFrame(1000, stream_id="s1")], gap_us=0.0)
+        env.run()
+        rec = client.reception("s1")
+        # arrival recorded after wire + switch + client stack: >> wire alone
+        assert rec.last_arrival_us > 300.0

@@ -1,0 +1,252 @@
+"""TCP: handshake, reliable delivery over loss, windowing, teardown."""
+
+import pytest
+
+from repro.hw import EthernetPort, EthernetSwitch, I960_STACK
+from repro.net import TCPError, TCPStack
+from repro.sim import Environment, RandomStreams, S
+
+
+def topology(env, loss_rate=0.0, seed=3, **stack_kw):
+    switch = EthernetSwitch(
+        env, loss_rate=loss_rate, loss_rng=RandomStreams(seed).stream("loss")
+    )
+    a_port, b_port = EthernetPort(env, "hostA"), EthernetPort(env, "hostB")
+    switch.attach(a_port)
+    switch.attach(b_port)
+    a = TCPStack(env, a_port, I960_STACK, **stack_kw)
+    b = TCPStack(env, b_port, I960_STACK, **stack_kw)
+    return switch, a, b
+
+
+def establish(env, a, b, port=80):
+    accept = b.listen(port)
+    result = {}
+
+    def server():
+        conn = yield accept.get()
+        result["server"] = conn
+
+    def client():
+        conn = yield from a.connect("hostB", port, src_port=40_000)
+        result["client"] = conn
+
+    env.process(server())
+    env.process(client())
+    env.run(until=5 * S)
+    return result["client"], result["server"]
+
+
+class TestHandshake:
+    def test_three_way_establishes_both_ends(self):
+        env = Environment()
+        _sw, a, b = topology(env)
+        client, server = establish(env, a, b)
+        assert client.state == "established"
+        assert server.state == "established"
+
+    def test_connect_without_listener_times_out(self):
+        env = Environment()
+        _sw, a, _b = topology(env)
+
+        def client():
+            yield from a.connect("hostB", 81, src_port=40_000)
+
+        with pytest.raises(TCPError, match="timed out"):
+            env.run(until=env.process(client()))
+
+    def test_handshake_survives_syn_loss(self):
+        env = Environment()
+        _sw, a, b = topology(env, loss_rate=0.4, seed=11)
+        client, server = establish(env, a, b)
+        assert client.state == "established"
+
+    def test_duplicate_listen_rejected(self):
+        env = Environment()
+        _sw, _a, b = topology(env)
+        b.listen(80)
+        with pytest.raises(ValueError):
+            b.listen(80)
+
+    def test_parameter_validation(self):
+        env = Environment()
+        switch = EthernetSwitch(env)
+        port = EthernetPort(env, "x")
+        switch.attach(port)
+        with pytest.raises(ValueError):
+            TCPStack(env, port, I960_STACK, mss=0)
+
+
+class TestReliableDelivery:
+    def test_records_arrive_in_order(self):
+        env = Environment()
+        _sw, a, b = topology(env)
+        client, server = establish(env, a, b)
+        got = []
+
+        def receiver():
+            for _ in range(5):
+                rec = yield server.recv()
+                got.append(rec["data"])
+
+        for i in range(5):
+            client.send(1000, data=f"rec{i}")
+        env.process(receiver())
+        env.run(until=10 * S)
+        assert got == [f"rec{i}" for i in range(5)]
+
+    def test_large_record_segmented_and_reassembled(self):
+        env = Environment()
+        _sw, a, b = topology(env)
+        client, server = establish(env, a, b)
+        got = []
+
+        def receiver():
+            rec = yield server.recv()
+            got.append(rec)
+
+        client.send(10_000, data="big")  # 7 segments at MSS 1460
+        env.process(receiver())
+        env.run(until=10 * S)
+        assert got[0]["data"] == "big"
+        assert got[0]["nbytes"] == 10_000
+
+    def test_delivery_over_lossy_network(self):
+        """The reason TCP exists: 20% frame loss, zero record loss."""
+        env = Environment()
+        _sw, a, b = topology(env, loss_rate=0.2, seed=7)
+        client, server = establish(env, a, b)
+        got = []
+
+        def receiver():
+            while True:
+                rec = yield server.recv()
+                got.append(rec["data"])
+
+        n = 40
+        for i in range(n):
+            client.send(2000, data=i)
+        env.process(receiver())
+        env.run(until=60 * S)
+        assert got == list(range(n))
+        assert client.retransmissions > 0  # loss really happened
+
+    def test_no_retransmissions_on_clean_network(self):
+        env = Environment()
+        _sw, a, b = topology(env)
+        client, server = establish(env, a, b)
+
+        def receiver():
+            while True:
+                yield server.recv()
+
+        for i in range(20):
+            client.send(1000, data=i)
+        env.process(receiver())
+        env.run(until=30 * S)
+        assert client.retransmissions == 0
+
+    def test_window_bounds_outstanding_segments(self):
+        env = Environment()
+        _sw, a, b = topology(env, window=4)
+        client, server = establish(env, a, b)
+        # queue far more than the window; never more than 4 unacked
+        for i in range(30):
+            client.send(1000, data=i)
+        max_outstanding = [0]
+
+        def watcher():
+            while True:
+                max_outstanding[0] = max(max_outstanding[0], len(client._segments))
+                yield env.timeout(100.0)
+
+        def receiver():
+            while True:
+                yield server.recv()
+
+        env.process(watcher())
+        env.process(receiver())
+        env.run(until=20 * S)
+        assert 0 < max_outstanding[0] <= 4
+
+    def test_send_on_unestablished_connection_raises(self):
+        env = Environment()
+        _sw, a, b = topology(env)
+        client, _server = establish(env, a, b)
+        client.state = "closed"
+        with pytest.raises(TCPError):
+            client.send(100)
+
+    def test_invalid_record_size(self):
+        env = Environment()
+        _sw, a, b = topology(env)
+        client, _server = establish(env, a, b)
+        with pytest.raises(ValueError):
+            client.send(0)
+
+
+class TestTeardown:
+    def test_close_completes_on_clean_network(self):
+        env = Environment()
+        _sw, a, b = topology(env)
+        client, server = establish(env, a, b)
+        client.send(500, data="bye")
+
+        def receiver():
+            yield server.recv()
+
+        def closer():
+            yield from client.close()
+
+        env.process(receiver())
+        p = env.process(closer())
+        env.run(until=p)
+        assert client.state == "closed"
+        assert server.state == "closed"
+
+    def test_close_survives_fin_loss(self):
+        env = Environment()
+        _sw, a, b = topology(env, loss_rate=0.3, seed=5)
+        client, _server = establish(env, a, b)
+
+        def closer():
+            yield from client.close()
+
+        p = env.process(closer())
+        env.run(until=p)
+        assert client.state == "closed"
+
+
+class TestOutageRecovery:
+    def test_transfer_survives_transient_total_outage(self):
+        """Failure injection: the SAN goes fully dark for 2 s mid-transfer;
+        TCP's RTO keeps retrying and the stream completes afterwards."""
+        env = Environment()
+        _sw, a, b = topology(env)
+        switch = _sw
+        client, server = establish(env, a, b)
+        got = []
+
+        def receiver():
+            while True:
+                rec = yield server.recv()
+                got.append(rec["data"])
+
+        def sender():
+            for i in range(20):
+                client.send(1000, data=i)
+                yield env.timeout(100_000.0)
+
+        def outage():
+            yield env.timeout(0.5 * S)
+            switch.loss_rate = 0.999999
+            switch._loss_rng = RandomStreams(1).stream("outage")
+            yield env.timeout(2 * S)
+            switch.loss_rate = 0.0
+
+        env.process(receiver())
+        env.process(sender())
+        env.process(outage())
+        env.run(until=30 * S)
+        assert got == list(range(20))
+        assert client.retransmissions > 0

@@ -1,0 +1,136 @@
+"""UDP stack: sockets, delivery, loss transparency."""
+
+import pytest
+
+from repro.hw import EthernetPort, EthernetSwitch, I960_STACK
+from repro.net import UDPStack
+from repro.sim import Environment, RandomStreams, S
+
+
+def topology(env, loss_rate=0.0):
+    switch = EthernetSwitch(
+        env, loss_rate=loss_rate, loss_rng=RandomStreams(3).stream("loss")
+    )
+    a_port, b_port = EthernetPort(env, "hostA"), EthernetPort(env, "hostB")
+    switch.attach(a_port)
+    switch.attach(b_port)
+    a = UDPStack(env, a_port, I960_STACK)
+    b = UDPStack(env, b_port, I960_STACK)
+    return switch, a, b
+
+
+class TestSockets:
+    def test_bind_and_duplicate(self):
+        env = Environment()
+        _sw, a, _b = topology(env)
+        a.bind(5000)
+        with pytest.raises(ValueError):
+            a.bind(5000)
+
+    def test_close_unbound_raises(self):
+        env = Environment()
+        _sw, a, _b = topology(env)
+        with pytest.raises(KeyError):
+            a.close(5000)
+
+    def test_invalid_payload(self):
+        env = Environment()
+        _sw, a, _b = topology(env)
+
+        def sender():
+            yield from a.sendto(0, "hostB", 5000)
+
+        with pytest.raises(ValueError):
+            env.run(until=env.process(sender()))
+
+
+class TestDelivery:
+    def test_datagram_roundtrip(self):
+        env = Environment()
+        _sw, a, b = topology(env)
+        inbox = b.bind(7000)
+        received = []
+
+        def receiver():
+            d = yield inbox.get()
+            received.append(d)
+
+        def sender():
+            yield from a.sendto(1200, "hostB", 7000, src_port=41000, data={"k": 1})
+
+        env.process(receiver())
+        env.process(sender())
+        env.run()
+        assert len(received) == 1
+        d = received[0]
+        assert d.payload_bytes == 1200
+        assert d.dst_port == 7000
+        assert d.src_port == 41000
+        assert d.data == {"k": 1}
+        assert d.src_host == "hostA"
+
+    def test_port_demultiplexing(self):
+        env = Environment()
+        _sw, a, b = topology(env)
+        q1, q2 = b.bind(1), b.bind(2)
+
+        def sender():
+            yield from a.sendto(100, "hostB", 1, data="one")
+            yield from a.sendto(100, "hostB", 2, data="two")
+
+        env.process(sender())
+        env.run()
+        assert q1.get().value.data == "one"
+        assert q2.get().value.data == "two"
+
+    def test_unbound_port_drops(self):
+        env = Environment()
+        _sw, a, b = topology(env)
+
+        def sender():
+            yield from a.sendto(100, "hostB", 999)
+
+        env.process(sender())
+        env.run()
+        assert b.no_socket_drops == 1
+        assert b.datagrams_received == 0
+
+    def test_udp_loses_what_the_network_loses(self):
+        env = Environment()
+        _sw, a, b = topology(env, loss_rate=0.3)
+        inbox = b.bind(5)
+        got = []
+
+        def receiver():
+            while True:
+                d = yield inbox.get()
+                got.append(d)
+
+        def sender():
+            for _ in range(200):
+                yield from a.sendto(500, "hostB", 5)
+                yield env.timeout(2_000.0)
+
+        env.process(receiver())
+        env.process(sender())
+        env.run(until=2 * S)
+        assert 100 < len(got) < 180  # ~30% gone, no recovery
+
+    def test_stack_cost_delays_delivery(self):
+        env = Environment()
+        _sw, a, b = topology(env)
+        inbox = b.bind(5)
+        arrival = []
+
+        def receiver():
+            d = yield inbox.get()
+            arrival.append(env.now)
+
+        def sender():
+            yield from a.sendto(1000, "hostB", 5)
+
+        env.process(receiver())
+        env.process(sender())
+        env.run()
+        # two i960 stack traversals (~670us each for 1000B) + wire
+        assert arrival[0] > 1_300.0

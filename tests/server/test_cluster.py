@@ -1,0 +1,58 @@
+"""Cluster topology and NI-to-NI traffic elimination."""
+
+import pytest
+
+from repro.server import Cluster
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestCluster:
+    def test_topology(self, env):
+        cluster = Cluster(env, n_nodes=4)
+        assert len(cluster) == 4
+        assert len(cluster.san.port_names) == 4
+        assert all(card.eth_ports[1].switch is cluster.san for card in cluster.san_cards)
+
+    def test_sixteen_node_paper_configuration(self, env):
+        """The paper's server: 16 quad Pentium Pro nodes."""
+        cluster = Cluster(env, n_nodes=16, n_cpus_per_node=4)
+        assert len(cluster) == 16
+        assert all(n.host_os.n_cpus == 4 for n in cluster.nodes)
+
+    def test_at_least_one_node(self, env):
+        with pytest.raises(ValueError):
+            Cluster(env, n_nodes=0)
+
+    def test_inter_node_transfer_latency(self, env):
+        cluster = Cluster(env, n_nodes=2)
+
+        def xfer():
+            latency = yield from cluster.send_between_nodes(0, 1, 1000)
+            return latency
+
+        latency = env.run(until=env.process(xfer()))
+        # two NI stacks + wire through the SAN switch: ~1.3-1.5 ms
+        assert 1000.0 < latency < 2500.0
+
+    def test_inter_node_transfer_spares_host_buses(self, env):
+        cluster = Cluster(env, n_nodes=3)
+
+        def xfer():
+            yield from cluster.send_between_nodes(0, 2, 50_000)
+
+        env.run(until=env.process(xfer()))
+        assert all(v == 0 for v in cluster.host_bus_traffic().values())
+
+    def test_same_node_transfer_rejected(self, env):
+        cluster = Cluster(env, n_nodes=2)
+
+        def xfer():
+            yield from cluster.send_between_nodes(1, 1, 100)
+
+        with pytest.raises(ValueError):
+            env.run(until=env.process(xfer()))

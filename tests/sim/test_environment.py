@@ -1,0 +1,122 @@
+"""Environment clock, scheduling order, and run-loop behaviour."""
+
+import pytest
+
+from repro.sim import MS, S, US, Environment, SimulationError
+
+
+def test_initial_time_defaults_to_zero():
+    assert Environment().now == 0.0
+
+
+def test_initial_time_override():
+    assert Environment(initial_time=42.0).now == 42.0
+
+
+def test_unit_constants_are_microseconds():
+    assert US == 1.0
+    assert MS == 1_000.0
+    assert S == 1_000_000.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    env.timeout(10.0)
+    env.run()
+    assert env.now == 10.0
+
+
+def test_run_until_time_stops_clock_at_bound():
+    env = Environment()
+    env.timeout(5.0)
+    env.timeout(50.0)
+    env.run(until=20.0)
+    assert env.now == 20.0
+
+
+def test_run_until_time_does_not_process_later_events():
+    env = Environment()
+    fired = []
+    ev = env.timeout(30.0)
+    ev.callbacks.append(lambda e: fired.append(e))
+    env.run(until=20.0)
+    assert fired == []
+    env.run(until=40.0)
+    assert len(fired) == 1
+
+
+def test_run_until_past_raises():
+    env = Environment(initial_time=100.0)
+    with pytest.raises(SimulationError):
+        env.run(until=50.0)
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+    ev = env.timeout(7.0, value="done")
+    assert env.run(until=ev) == "done"
+    assert env.now == 7.0
+
+
+def test_run_until_already_triggered_event_returns_immediately():
+    env = Environment()
+    ev = env.timeout(1.0, value="x")
+    env.run()
+    assert env.run(until=ev) == "x"
+
+
+def test_run_until_event_starved_queue_raises():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        env.run(until=ev)
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    env = Environment()
+    order = []
+    for i in range(5):
+        ev = env.timeout(10.0, value=i)
+        ev.callbacks.append(lambda e: order.append(e.value))
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(3.0)
+    env.timeout(1.0)
+    assert env.peek() == 1.0
+
+
+def test_peek_empty_queue_is_inf():
+    assert Environment().peek() == float("inf")
+
+
+def test_step_on_empty_queue_raises():
+    with pytest.raises(SimulationError):
+        Environment().step()
+
+
+def test_schedule_callback_runs_at_delay():
+    env = Environment()
+    seen = []
+    env.schedule_callback(25.0, lambda: seen.append(env.now))
+    env.run()
+    assert seen == [25.0]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1.0)
+
+
+def test_events_process_in_time_order():
+    env = Environment()
+    order = []
+    for delay in (30.0, 10.0, 20.0):
+        ev = env.timeout(delay, value=delay)
+        ev.callbacks.append(lambda e: order.append(e.value))
+    env.run()
+    assert order == [10.0, 20.0, 30.0]

@@ -1,0 +1,89 @@
+"""Property-based invariants of the simulation kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment, Resource, Store
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+def test_events_always_fire_in_nondecreasing_time_order(delays):
+    env = Environment()
+    fired = []
+    for d in delays:
+        ev = env.timeout(d)
+        ev.callbacks.append(lambda e, d=d: fired.append(env.now))
+    env.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert env.now == max(delays)
+
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30
+    )
+)
+def test_clock_never_goes_backwards_during_processes(delays):
+    env = Environment()
+    observed = []
+
+    def proc(d):
+        yield env.timeout(d)
+        observed.append(env.now)
+        yield env.timeout(d)
+        observed.append(env.now)
+
+    for d in delays:
+        env.process(proc(d))
+    env.run()
+    # Global observation order must be monotone in simulated time.
+    assert all(a <= b for a, b in zip(observed, observed[1:]))
+
+
+@given(
+    holds=st.lists(st.floats(min_value=0.1, max_value=50.0), min_size=1, max_size=20),
+    capacity=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=50)
+def test_resource_never_exceeds_capacity(holds, capacity):
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+    peak = [0]
+
+    def user(hold):
+        with res.request() as req:
+            yield req
+            peak[0] = max(peak[0], res.count)
+            assert res.count <= capacity
+            yield env.timeout(hold)
+
+    for h in holds:
+        env.process(user(h))
+    env.run()
+    assert res.count == 0
+    assert peak[0] <= capacity
+    assert res.queue_length == 0
+
+
+@given(items=st.lists(st.integers(), min_size=0, max_size=40))
+def test_store_preserves_fifo_order_and_conservation(items):
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer():
+        for it in items:
+            yield store.put(it)
+            yield env.timeout(1.0)
+
+    def consumer():
+        for _ in items:
+            got = yield store.get()
+            received.append(got)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert received == items
+    assert len(store) == 0

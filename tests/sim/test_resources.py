@@ -1,0 +1,238 @@
+"""Resource/Store semantics: granting, queueing, priorities, preemption."""
+
+import pytest
+
+from repro.sim import (
+    Environment,
+    Interrupt,
+    Preempted,
+    PreemptiveResource,
+    Resource,
+    SimulationError,
+    Store,
+)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self, env):
+        with pytest.raises(SimulationError):
+            Resource(env, capacity=0)
+
+    def test_grant_when_free(self, env):
+        res = Resource(env, capacity=1)
+        req = res.request()
+        assert req.triggered
+        assert res.count == 1
+
+    def test_queue_when_full(self, env):
+        res = Resource(env, capacity=1)
+        res.request()
+        second = res.request()
+        assert not second.triggered
+        assert res.queue_length == 1
+
+    def test_release_wakes_waiter(self, env):
+        res = Resource(env, capacity=1)
+        first = res.request()
+        second = res.request()
+        res.release(first)
+        assert second.triggered
+
+    def test_fifo_order_among_equal_priority(self, env):
+        res = Resource(env, capacity=1)
+        order = []
+
+        def user(tag, hold):
+            with res.request() as req:
+                yield req
+                order.append(tag)
+                yield env.timeout(hold)
+
+        for tag in ("a", "b", "c"):
+            env.process(user(tag, 10.0))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_priority_order(self, env):
+        res = Resource(env, capacity=1)
+        order = []
+
+        def user(tag, prio):
+            with res.request(priority=prio) as req:
+                yield req
+                order.append(tag)
+                yield env.timeout(10.0)
+
+        def spawn():
+            # occupy, then create contenders while busy
+            with res.request() as req:
+                yield req
+                env.process(user("low", 5))
+                env.process(user("high", 1))
+                yield env.timeout(10.0)
+
+        env.process(spawn())
+        env.run()
+        assert order == ["high", "low"]
+
+    def test_release_of_queued_request_cancels_it(self, env):
+        res = Resource(env, capacity=1)
+        res.request()
+        queued = res.request()
+        res.release(queued)
+        assert res.queue_length == 0
+        assert not queued.triggered
+
+    def test_double_release_is_noop(self, env):
+        res = Resource(env, capacity=1)
+        req = res.request()
+        res.release(req)
+        res.release(req)
+        assert res.count == 0
+
+    def test_multicapacity_grants(self, env):
+        res = Resource(env, capacity=3)
+        reqs = [res.request() for _ in range(4)]
+        assert [r.triggered for r in reqs] == [True, True, True, False]
+
+    def test_utilization_accounting(self, env):
+        res = Resource(env, capacity=1)
+
+        def user():
+            with res.request() as req:
+                yield req
+                yield env.timeout(30.0)
+
+        def sleeper():
+            yield env.timeout(100.0)
+
+        env.process(user())
+        env.process(sleeper())
+        env.run()
+        assert env.now == 100.0
+        assert res.utilization() == pytest.approx(30.0 / 100.0, rel=0.01)
+
+    def test_context_manager_releases(self, env):
+        res = Resource(env, capacity=1)
+
+        def user():
+            with res.request() as req:
+                yield req
+                yield env.timeout(5.0)
+
+        env.process(user())
+        env.run()
+        assert res.count == 0
+
+
+class TestPreemption:
+    def test_preempt_evicts_lower_priority(self, env):
+        res = PreemptiveResource(env, capacity=1)
+        log = []
+
+        def low():
+            with res.request(priority=10) as req:
+                yield req
+                try:
+                    yield env.timeout(100.0)
+                    log.append(("low-done", env.now))
+                except Interrupt as i:
+                    assert isinstance(i.cause, Preempted)
+                    assert i.cause.resource is res
+                    log.append(("low-preempted", env.now))
+
+        def high():
+            yield env.timeout(10.0)
+            with res.request(priority=1) as req:
+                yield req
+                log.append(("high-acquired", env.now))
+                yield env.timeout(5.0)
+
+        env.process(low())
+        env.process(high())
+        env.run()
+        assert ("low-preempted", 10.0) in log
+        assert ("high-acquired", 10.0) in log
+
+    def test_no_preemption_of_equal_or_higher_priority(self, env):
+        res = PreemptiveResource(env, capacity=1)
+        held = res.request(priority=1)
+        contender = res.request(priority=1, preempt=True)
+        assert held.triggered
+        assert not contender.triggered
+        assert res.queue_length == 1
+
+
+class TestStore:
+    def test_put_then_get(self, env):
+        store = Store(env)
+        store.put("item")
+        got = store.get()
+        assert got.triggered
+        assert got.value == "item"
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+        results = []
+
+        def consumer():
+            item = yield store.get()
+            results.append((item, env.now))
+
+        def producer():
+            yield env.timeout(20.0)
+            yield store.put("late")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert results == [("late", 20.0)]
+
+    def test_fifo_item_order(self, env):
+        store = Store(env)
+        for i in range(3):
+            store.put(i)
+        assert [store.get().value for _ in range(3)] == [0, 1, 2]
+
+    def test_capacity_blocks_put(self, env):
+        store = Store(env, capacity=1)
+        first = store.put("a")
+        second = store.put("b")
+        assert first.triggered
+        assert not second.triggered
+        store.get()
+        assert second.triggered
+
+    def test_filtered_get(self, env):
+        store = Store(env)
+        store.put({"kind": "x"})
+        store.put({"kind": "y"})
+        got = store.get(filter=lambda it: it["kind"] == "y")
+        assert got.value == {"kind": "y"}
+        assert len(store) == 1
+
+    def test_filtered_get_waits_for_match(self, env):
+        store = Store(env)
+        store.put(1)
+        got = store.get(filter=lambda it: it == 2)
+        assert not got.triggered
+        store.put(2)
+        assert got.triggered
+        assert got.value == 2
+
+    def test_cancel_pending_get(self, env):
+        store = Store(env)
+        got = store.get()
+        store.cancel(got)
+        store.put("x")
+        assert not got.triggered
+        assert len(store) == 1
+
+    def test_invalid_capacity_rejected(self, env):
+        with pytest.raises(SimulationError):
+            Store(env, capacity=0)

@@ -1,0 +1,103 @@
+"""Tracer: recording, filtering, bounds, export; scheduler integration."""
+
+import json
+
+import pytest
+
+from repro.core import DWCSScheduler, StreamSpec
+from repro.media import FrameType, MediaFrame
+from repro.sim import Environment, Tracer
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestTracer:
+    def test_emit_records_time_and_fields(self, env):
+        t = Tracer(env)
+        env.schedule_callback(5.0, lambda: t.emit("cat", "thing", a=1))
+        env.run()
+        [e] = t.events()
+        assert e.time_us == 5.0
+        assert e.category == "cat"
+        assert e.fields == {"a": 1}
+
+    def test_category_filter(self, env):
+        t = Tracer(env, categories=["keep"])
+        t.emit("keep", "x")
+        t.emit("drop", "y")
+        assert len(t) == 1
+        assert not t.wants("drop")
+
+    def test_capacity_ring(self, env):
+        t = Tracer(env, capacity=10)
+        for i in range(25):
+            t.emit("c", "e", i=i)
+        assert len(t) == 10
+        assert t.discarded == 15
+        assert t.events()[0].fields["i"] == 15  # oldest survivor
+
+    def test_invalid_capacity(self, env):
+        with pytest.raises(ValueError):
+            Tracer(env, capacity=0)
+
+    def test_query_filters(self, env):
+        t = Tracer(env)
+        t.emit("a", "x")
+        t.emit("a", "y")
+        t.emit("b", "x")
+        assert len(t.events(category="a")) == 2
+        assert len(t.events(name="x")) == 2
+        assert len(t.events(category="a", name="x")) == 1
+        assert t.counts() == {"a": 2, "b": 1}
+
+    def test_time_window_query(self, env):
+        t = Tracer(env)
+        env.schedule_callback(1.0, lambda: t.emit("c", "early"))
+        env.schedule_callback(9.0, lambda: t.emit("c", "late"))
+        env.run()
+        assert [e.name for e in t.events(start_us=0, end_us=5)] == ["early"]
+
+    def test_jsonl_export(self, env):
+        t = Tracer(env)
+        t.emit("c", "e", value=3)
+        lines = t.to_jsonl().splitlines()
+        assert json.loads(lines[0]) == {"t": 0.0, "cat": "c", "name": "e", "value": 3}
+
+
+class TestSchedulerTracing:
+    def test_decisions_drops_and_violations_traced(self, env):
+        tracer = Tracer(env)
+        s = DWCSScheduler(work_conserving=True)
+        s.tracer = tracer
+        s.add_stream(StreamSpec("lossy", period_us=100.0, loss_x=1, loss_y=2))
+        s.add_stream(
+            StreamSpec("strict", period_us=100.0, loss_x=0, loss_y=2, drop_late=False)
+        )
+        for sid in ("lossy", "strict"):
+            for k in range(10):
+                s.enqueue(MediaFrame(sid, k, FrameType.I, 1000, 0.0), 0.0)
+        t = 0.0
+        while s.backlog:
+            s.schedule(t)
+            t += 300.0  # overload: misses guaranteed
+        counts = tracer.counts()
+        assert counts["dwcs"] > 0
+        names = {e.name for e in tracer.events(category="dwcs")}
+        assert "decision" in names
+        assert "drop" in names
+        assert "violation" in names
+        assert "late" in names
+        # every drop event carries the stream and sequence number
+        for e in tracer.events(name="drop"):
+            assert e.fields["stream"] == "lossy"
+            assert isinstance(e.fields["seq"], int)
+
+    def test_untraced_scheduler_has_no_overhead_path(self, env):
+        s = DWCSScheduler(work_conserving=True)
+        assert s.tracer is None
+        s.add_stream(StreamSpec("s", period_us=100.0, loss_x=1, loss_y=2))
+        s.enqueue(MediaFrame("s", 0, FrameType.I, 1000, 0.0), 0.0)
+        s.schedule(0.0)  # no crash, nothing recorded anywhere
