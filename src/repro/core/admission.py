@@ -57,6 +57,9 @@ class AdmissionController:
             raise ValueError("bound must be in (0, 1]")
         self.utilization_bound = utilization_bound
         self._admitted: dict[str, float] = {}
+        #: streams shed under failure/overload, FIFO by suspension order —
+        #: their shares are off the ledger until resumed
+        self._suspended: dict[str, float] = {}
 
     @property
     def utilization(self) -> float:
@@ -71,7 +74,7 @@ class AdmissionController:
         """Test a candidate without admitting it."""
         share = mandatory_utilization(spec, service_time_us)
         projected = self.utilization + share
-        if spec.stream_id in self._admitted:
+        if spec.stream_id in self._admitted or spec.stream_id in self._suspended:
             return AdmissionDecision(
                 admitted=False,
                 projected_utilization=self.utilization,
@@ -105,9 +108,52 @@ class AdmissionController:
 
     def release(self, stream_id: str) -> None:
         """Return a departed stream's share."""
+        if stream_id in self._suspended:
+            del self._suspended[stream_id]
+            return
         if stream_id not in self._admitted:
             raise KeyError(f"stream {stream_id!r} not admitted")
         del self._admitted[stream_id]
+
+    # -- graceful degradation ------------------------------------------------
+    @property
+    def suspended_streams(self) -> list[str]:
+        return sorted(self._suspended)
+
+    def suspend(self, stream_id: str) -> None:
+        """Shed an admitted stream (NI failure, sustained overload).
+
+        Its share leaves the ledger but is remembered, so the stream can be
+        re-admitted ahead of newcomers once capacity returns.
+        """
+        if stream_id not in self._admitted:
+            raise KeyError(f"stream {stream_id!r} not admitted")
+        self._suspended[stream_id] = self._admitted.pop(stream_id)
+
+    def resume(self, stream_id: str) -> bool:
+        """Re-admit one suspended stream if its share fits the bound."""
+        if stream_id not in self._suspended:
+            raise KeyError(f"stream {stream_id!r} not suspended")
+        share = self._suspended[stream_id]
+        if self.utilization + share > self.utilization_bound:
+            return False
+        self._admitted[stream_id] = self._suspended.pop(stream_id)
+        return True
+
+    def resume_all(self) -> list[str]:
+        """Re-admit suspended streams FIFO while headroom allows.
+
+        Returns the stream ids actually re-admitted; any remainder stays
+        suspended (degraded service, not dropped state).
+        """
+        resumed = []
+        for stream_id in list(self._suspended):
+            share = self._suspended[stream_id]
+            if self.utilization + share > self.utilization_bound:
+                continue
+            self._admitted[stream_id] = self._suspended.pop(stream_id)
+            resumed.append(stream_id)
+        return resumed
 
     def headroom(self) -> float:
         """Remaining admissible mandatory utilization."""

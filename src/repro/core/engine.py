@@ -125,6 +125,10 @@ class StreamingEngine:
         self.idle_poll_us = idle_poll_us
         self._wakeup: Optional[Event] = None
         self.stopped = False
+        #: True while the dispatch substrate is down (NI crash): the task
+        #: parks instead of scheduling into a dead transmit path
+        self.paused = False
+        self._resume: Optional[Event] = None
         # -- instrumentation (per stream) -----------------------------------
         #: queuing delay of each dispatched frame, µs (Figures 8/10)
         self.queuing_delay_us: dict[str, TimeSeries] = {}
@@ -143,12 +147,36 @@ class StreamingEngine:
         self.stopped = True
         if self._wakeup is not None and not self._wakeup.triggered:
             self._wakeup.succeed()
+        if self._resume is not None and not self._resume.triggered:
+            self._resume.succeed()
+
+    def pause(self) -> None:
+        """Park the scheduler task (transmit path down, e.g. NI crash).
+
+        Producers may keep submitting — frames queue in the rings and age;
+        on :meth:`resume` the scheduler's normal miss processing drops the
+        late ones and accounts the violations.
+        """
+        self.paused = True
+
+    def resume(self) -> None:
+        """Restart scheduling after a pause (NI reset complete)."""
+        if not self.paused:
+            return
+        self.paused = False
+        if self._resume is not None and not self._resume.triggered:
+            self._resume.succeed()
 
     # -- the scheduler task -------------------------------------------------------
     def task_body(self, task: Task) -> Generator:
         """OS-task body: run scheduling cycles, paced by releases and load."""
         env = self.env
         while not self.stopped:
+            if self.paused:
+                self._resume = env.event()
+                yield self._resume
+                self._resume = None
+                continue
             decision = self.scheduler.schedule(env.now)
             yield task.compute(self.cpu.time_for(decision.ops, self.working_set_bytes))
             if self.on_drop is not None:

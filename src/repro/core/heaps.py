@@ -44,6 +44,10 @@ class OpHeap(Generic[T]):
     def peek(self) -> Optional[T]:
         return self._items[0] if self._items else None
 
+    def peek_children(self) -> list[T]:
+        """The root's children — the only candidates for the second minimum."""
+        return self._items[1:3]
+
     def push(self, item: T, ops: OpCounter) -> None:
         if id(item) in self._index:
             raise ValueError("item already in heap")

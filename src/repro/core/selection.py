@@ -58,6 +58,7 @@ def compare_entries(a: Entry, b: Entry, ctx: ArithmeticContext, ops: OpCounter) 
     if da != db:
         return -1 if (da is not None and (db is None or da < db)) else 1
     # Rule 2: lowest window-constraint first.
+    ops.mem_reads += 2  # load both constraint fractions
     ca, cb = sa.constraint, sb.constraint
     order = ctx.compare(ca, cb)
     if order != 0:
@@ -132,8 +133,14 @@ class LinearScan(SelectionStructure):
         ops.mem_writes += 1
 
     def remove(self, entry: Entry, ops: OpCounter) -> None:
-        self._entries.remove(entry)
-        ops.mem_writes += 1
+        # list.remove is an O(n) scan to the entry plus a left-shift of the
+        # tail: charge the comparisons walked and the slots rewritten.
+        idx = self._entries.index(entry)
+        n = len(self._entries)
+        ops.mem_reads += idx + 1
+        ops.branches += idx + 1
+        ops.mem_writes += n - idx  # tail shift + published length
+        del self._entries[idx]
 
     def reorder(self, entry: Entry, ops: OpCounter) -> None:
         ops.mem_reads += 1  # nothing to maintain; order is scan-time
@@ -206,11 +213,25 @@ class DualHeaps(SelectionStructure):
         top = self._deadline_heap.peek()
         if top is None:
             return None
+        deadline = top.state.deadline_us
+        # Peek first: the second-best deadline sits at one of the root's
+        # children (heap property — equal keys deeper down imply an equal
+        # child), so the common no-tie case costs two comparisons instead
+        # of a pop/push (two full sifts) of a single-entry cohort.
+        tie = False
+        for child in self._deadline_heap.peek_children():
+            ops.mem_reads += 1
+            ops.branches += 1
+            if child.state.deadline_us == deadline:
+                tie = True
+                break
+        if not tie:
+            ops.mem_reads += 1  # load the winning entry's descriptor handle
+            return top
         # Gather the deadline-tie cohort by popping equal-deadline entries
         # (the embedded code walks the heap top; pop/push-back charges the
         # equivalent sift work).
         cohort: list[Entry] = []
-        deadline = top.state.deadline_us
         while len(self._deadline_heap):
             candidate = self._deadline_heap.peek()
             assert candidate is not None

@@ -5,7 +5,7 @@ runtime with run-time-loadable extension modules, and the media-scheduler
 extension the paper builds on top.
 """
 
-from .api import VCMError, VCMInterface
+from .api import VCMError, VCMInterface, VCMTimeout
 from .cluster import DVCM_PORT, DVCMNode, RemoteCallError, RemoteVCM
 from .extension import ExtensionModule, MediaSchedulerExtension
 from .messages import HEADER_WORDS, I2OMessage, I2OReply, MessageQueuePair
@@ -14,6 +14,7 @@ from .runtime import VCMRuntime
 __all__ = [
     "VCMInterface",
     "VCMError",
+    "VCMTimeout",
     "VCMRuntime",
     "ExtensionModule",
     "MediaSchedulerExtension",

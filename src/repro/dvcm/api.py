@@ -9,6 +9,13 @@ an I2O message across the PCI segment and (synchronously) awaits the reply.
 The call itself is cheap for the *host* — the heavy lifting happens on the
 NI — but it does consume PCI bandwidth for the message frame and any bulk
 payload (e.g. a media frame pushed from host memory to NI memory).
+
+Requests are retried: an I2O frame can be lost between host and NI (see
+:mod:`repro.faults`), so a call that sees no reply within ``timeout_us``
+retransmits the *same* message frame (same msg_id) with exponential
+backoff, up to ``max_retries`` times. The NI runtime dedups by msg_id
+(at-most-once execution), so retransmits are safe even when the original
+was merely slow rather than lost.
 """
 
 from __future__ import annotations
@@ -19,27 +26,55 @@ from repro.sim import Environment, Event
 
 from .messages import I2OMessage, MessageQueuePair
 
-__all__ = ["VCMInterface", "VCMError"]
+__all__ = ["VCMInterface", "VCMError", "VCMTimeout"]
 
 
 class VCMError(RuntimeError):
     """An instruction returned an error reply."""
 
 
-class VCMInterface:
-    """One host application's handle onto a card's DVCM."""
+class VCMTimeout(VCMError):
+    """No reply arrived within the retry budget (NI dead or link severed)."""
 
-    def __init__(self, env: Environment, queues: MessageQueuePair, name: str = "app") -> None:
+
+class VCMInterface:
+    """One host application's handle onto a card's DVCM.
+
+    Parameters
+    ----------
+    timeout_us:
+        Reply wait before the first retransmission (doubles per retry).
+    max_retries:
+        Retransmissions after the initial post; 0 restores fire-once.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        queues: MessageQueuePair,
+        name: str = "app",
+        timeout_us: float = 50_000.0,
+        max_retries: int = 4,
+    ) -> None:
+        if timeout_us <= 0:
+            raise ValueError("timeout must be positive")
+        if max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
         self.env = env
         self.queues = queues
         self.name = name
+        self.timeout_us = timeout_us
+        self.max_retries = max_retries
         self.calls = 0
+        self.retries = 0
+        self.timeouts = 0
 
     def call(
         self,
         function: str,
         payload: Optional[dict[str, Any]] = None,
         bulk_bytes: int = 0,
+        timeout_us: Optional[float] = None,
     ) -> Generator[Event, None, Any]:
         """Process: invoke *function* on the NI and return its result.
 
@@ -51,12 +86,31 @@ class VCMInterface:
             payload=payload if payload is not None else {},
             bulk_bytes=bulk_bytes,
         )
-        yield from self.queues.post(message)
-        reply = yield self.queues.wait_reply(message.msg_id)
-        self.calls += 1
-        if reply.status != "ok":
-            raise VCMError(f"{function}: {reply.result}")
-        return reply.result
+        wait_us = timeout_us if timeout_us is not None else self.timeout_us
+        for attempt in range(self.max_retries + 1):
+            yield from self.queues.post(message)
+            reply_ev = self.queues.wait_reply(message.msg_id)
+            result = yield reply_ev | self.env.timeout(wait_us)
+            if reply_ev in result:
+                reply = result[reply_ev]
+                # scavenge surplus replies a retransmit may have produced
+                self.queues.outbound.items[:] = [
+                    r for r in self.queues.outbound.items
+                    if r.msg_id != message.msg_id
+                ]
+                self.calls += 1
+                if reply.status != "ok":
+                    raise VCMError(f"{function}: {reply.result}")
+                return reply.result
+            # no reply in time: cancel the stale wait, back off, retransmit
+            self.queues.outbound.cancel(reply_ev)
+            self.timeouts += 1
+            if attempt < self.max_retries:
+                self.retries += 1
+                wait_us *= 2.0
+        raise VCMTimeout(
+            f"{function}: no reply after {self.max_retries + 1} attempts"
+        )
 
     def __repr__(self) -> str:
         return f"<VCMInterface {self.name!r} calls={self.calls}>"

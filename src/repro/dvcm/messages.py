@@ -60,6 +60,8 @@ class MessageQueuePair:
         self.outbound: Store = Store(env, name=f"{name}.outbound")
         self.posted = 0
         self.replied = 0
+        self.dropped = 0
+        self.duplicated = 0
 
     # -- host side --------------------------------------------------------------
     def post(self, message: I2OMessage) -> Generator[Event, None, None]:
@@ -74,6 +76,18 @@ class MessageQueuePair:
         if message.bulk_bytes > 0:
             yield from self.segment.transfer(message.bulk_bytes)
         self.posted += 1
+        plane = getattr(self.env, "fault_plane", None)
+        if plane is not None:
+            if plane.message_dropped(self.name):
+                # the frame vanished on the bus: PCI cost paid, nothing
+                # arrives — callers recover via the VCMInterface retry path
+                self.dropped += 1
+                return
+            if plane.message_duplicated(self.name):
+                # bridge retry: the same frame (same msg_id) lands twice;
+                # the runtime's at-most-once dedup executes it only once
+                self.duplicated += 1
+                yield self.inbound.put(message)
         yield self.inbound.put(message)
 
     def wait_reply(self, msg_id: int) -> Event:

@@ -10,6 +10,7 @@ current cluster applications".
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Generator, Optional
 
 from repro.hw.cpu import CPU
@@ -23,6 +24,10 @@ __all__ = ["VCMRuntime"]
 
 #: NI CPU cycles to receive, decode, and dispatch one message frame
 MESSAGE_DISPATCH_CYCLES = 900.0
+
+#: reply frames remembered for at-most-once dedup of duplicated/retried
+#: message ids (bounded so a long-lived runtime stays bounded)
+REPLY_CACHE_ENTRIES = 512
 
 
 class VCMRuntime:
@@ -43,6 +48,11 @@ class VCMRuntime:
         self._modules: dict[str, ExtensionModule] = {}
         self.messages_handled = 0
         self.errors = 0
+        #: at-most-once execution: replies cached by msg_id so a duplicated
+        #: or host-retransmitted request re-sends its reply instead of
+        #: executing the handler twice
+        self._reply_cache: OrderedDict[int, I2OReply] = OrderedDict()
+        self.duplicates_deduped = 0
 
     # -- extension management ----------------------------------------------------
     def load_extension(self, module: ExtensionModule) -> None:
@@ -68,11 +78,21 @@ class VCMRuntime:
 
     # -- the dispatch task ----------------------------------------------------------
     def task_body(self, task: Task) -> Generator:
-        """VxWorks task body: serve messages forever."""
+        """VxWorks task body: serve messages forever (at-most-once)."""
         while True:
             message: I2OMessage = yield self.queues.receive()
             yield task.compute(self.cpu.time_us(MESSAGE_DISPATCH_CYCLES))
+            cached = self._reply_cache.get(message.msg_id)
+            if cached is not None:
+                # duplicate delivery (bus fault or host retransmit): do not
+                # execute again — repost the remembered reply
+                self.duplicates_deduped += 1
+                yield from self.queues.reply(cached)
+                continue
             reply = self._execute(message)
+            self._reply_cache[message.msg_id] = reply
+            while len(self._reply_cache) > REPLY_CACHE_ENTRIES:
+                self._reply_cache.popitem(last=False)
             yield from self.queues.reply(reply)
 
     def execute_local(self, function: str, payload: dict[str, Any]) -> Any:

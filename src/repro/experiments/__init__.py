@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from .chaos import chaos, run_chaos_scenario
 from .figures import (
     LoadedRun,
     figure6,
@@ -44,6 +45,8 @@ __all__ = [
     "ni_balance",
     "cost_sensitivity",
     "mechanism_knockouts",
+    "chaos",
+    "run_chaos_scenario",
     "run_loading_experiment",
     "LoadedRun",
     "ExperimentResult",
@@ -71,6 +74,7 @@ REGISTRY: dict[str, Callable[[], ExperimentResult]] = {
     "ext_ni_balance": ni_balance,
     "sens_costs": cost_sensitivity,
     "sens_knockouts": mechanism_knockouts,
+    "chaos": chaos,
 }
 
 

@@ -9,6 +9,7 @@
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from pathlib import Path
 
@@ -43,6 +44,14 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="also write per-experiment text artifacts (tables + ASCII plots)",
     )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the RNG seed for experiments that accept one "
+        "(e.g. chaos; same seed => identical results)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -56,7 +65,11 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
 
     for name in names:
-        result = REGISTRY[name]()
+        runner = REGISTRY[name]
+        kwargs = {}
+        if args.seed is not None and "seed" in inspect.signature(runner).parameters:
+            kwargs["seed"] = args.seed
+        result = runner(**kwargs)
         print(result.render())
         print()
         if args.plots:

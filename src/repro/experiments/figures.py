@@ -16,10 +16,11 @@ function extracts its series from such runs:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
+from repro.core.admission import AdmissionController
 from repro.hw.ethernet import EthernetSwitch
 from repro.metrics import Perfmeter
 from repro.server.node import ServerNode
@@ -42,6 +43,7 @@ from .report import ExperimentResult, Series
 
 __all__ = [
     "LoadedRun",
+    "STREAM_SERVICE_TIME_US",
     "run_loading_experiment",
     "figure6",
     "figure7",
@@ -49,6 +51,11 @@ __all__ = [
     "figure9",
     "figure10",
 ]
+
+
+#: per-packet service time charged against the admission ledger for the
+#: figure streams (~10 kB frame: protocol processing + wire time)
+STREAM_SERVICE_TIME_US = 2_000.0
 
 
 @dataclass
@@ -103,10 +110,16 @@ def run_loading_experiment(
     duration_us: float = SIM_DURATION_US,
     seed: int = 0,
     frames_per_stream: Optional[int] = None,
+    chaos: Optional[Callable[..., None]] = None,
 ) -> LoadedRun:
     """Build Figure 5's architecture and run one (kind, level) cell.
 
     ``kind`` is 'host' or 'ni'; ``level`` indexes LOAD_PROFILES.
+
+    ``chaos``, when given, is called once with the assembled topology
+    (``env``, ``node``, ``service``, ``switch``, ``duration_us`` keywords)
+    before the clock starts — the hook point where a
+    :class:`~repro.faults.FaultPlane` schedules its fault campaign.
     """
     if kind not in ("host", "ni"):
         raise ValueError("kind must be 'host' or 'ni'")
@@ -118,10 +131,16 @@ def run_loading_experiment(
     n_cpus = 2 if kind == "host" else 1
     node = ServerNode(env, n_cpus=n_cpus, n_pci_segments=2)
     switch = EthernetSwitch(env)
+    # the admission ledger is what failure handling sheds/re-admits through
+    admission = AdmissionController()
     if kind == "host":
-        service = HostStreamingService(env, node, switch, nic_segment=0)
+        service = HostStreamingService(
+            env, node, switch, nic_segment=0, admission=admission
+        )
     else:
-        service = NIStreamingService(env, node, switch, scheduler_segment=0)
+        service = NIStreamingService(
+            env, node, switch, scheduler_segment=0, admission=admission
+        )
 
     n_frames = (
         frames_per_stream
@@ -130,7 +149,9 @@ def run_loading_experiment(
     )
     for i, spec in enumerate(figure_stream_specs()):
         service.attach_client(f"client_{spec.stream_id}")
-        service.open_stream(spec, f"client_{spec.stream_id}")
+        service.open_stream(
+            spec, f"client_{spec.stream_id}", service_time_us=STREAM_SERVICE_TIME_US
+        )
         file = figure_mpeg_file(spec.stream_id, seed=seed + i, n_frames=n_frames)
         if kind == "host":
             service.start_producer(
@@ -160,6 +181,14 @@ def run_loading_experiment(
             rate_profile=rate_profile,
             total_calls=10**9,
             rng=RandomStreams(seed + 200),
+        )
+    if chaos is not None:
+        chaos(
+            env=env,
+            node=node,
+            service=service,
+            switch=switch,
+            duration_us=duration_us,
         )
     meter = Perfmeter(env, node.host_os, period_us=1 * S)
     env.run(until=duration_us)

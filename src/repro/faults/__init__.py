@@ -1,0 +1,16 @@
+"""Fault injection and robustness measurement.
+
+The paper's headline claim is *immunity* — the NI-resident scheduler keeps
+streaming while the host is crushed. This package makes robustness a
+measured property rather than an assumption: a deterministic, seeded
+:class:`FaultPlane` injects platform misbehaviour (link loss bursts and
+partitions, disk latency spikes and media errors, NI card crash/reset, I2O
+message drop/duplication) through small hooks the hardware models consult,
+and :mod:`repro.faults.scenarios` names the replayable chaos scenarios the
+experiment harness measures recovery from.
+"""
+
+from .plane import FaultPlane, FaultWindow
+from .scenarios import ChaosScenario, SCENARIOS
+
+__all__ = ["FaultPlane", "FaultWindow", "ChaosScenario", "SCENARIOS"]

@@ -1,0 +1,125 @@
+"""Named chaos scenarios.
+
+Each scenario is a recipe for one fault campaign against a running
+streaming configuration: *what* breaks (scheduled on a
+:class:`~repro.faults.FaultPlane`), and *when*, expressed as fractions of
+the run so the same scenario scales from a short regression test to the
+full Figure-9-length experiment.
+
+The registry keys are the names accepted by ``python -m repro.experiments
+chaos`` (see :mod:`repro.experiments.chaos`). ``baseline`` installs a
+plane with *no* windows — by construction the hooks draw no randomness
+and add no latency, so the run must be bit-identical to a plane-less
+Figure 9 run; it is the control that keeps the fault plane honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Tuple
+
+from .plane import FaultPlane
+
+__all__ = ["ChaosScenario", "SCENARIOS"]
+
+#: (plane, service, fault_start_us, fault_end_us) -> None
+Installer = Callable[[FaultPlane, Any, float, float], None]
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One named fault campaign."""
+
+    name: str
+    description: str
+    #: fault onset / clearance as fractions of the run duration
+    start_frac: float
+    end_frac: float
+    installer: Installer
+
+    def fault_window_us(self, duration_us: float) -> Tuple[float, float]:
+        return (self.start_frac * duration_us, self.end_frac * duration_us)
+
+    def install(self, plane: FaultPlane, service: Any, duration_us: float) -> None:
+        """Schedule this scenario's faults for a run of *duration_us*."""
+        start_us, end_us = self.fault_window_us(duration_us)
+        self.installer(plane, service, start_us, end_us)
+
+
+def _install_nothing(
+    plane: FaultPlane, service: Any, start_us: float, end_us: float
+) -> None:
+    """The control: a plane with no fault windows."""
+
+
+def _install_link_burst(
+    plane: FaultPlane, service: Any, start_us: float, end_us: float
+) -> None:
+    """30% frame loss toward every client for the fault window."""
+    plane.inject_link_loss("client_*", start_us, end_us, rate=0.30)
+
+
+def _install_partition(
+    plane: FaultPlane, service: Any, start_us: float, end_us: float
+) -> None:
+    """Total partition of client_s1 (s2 untouched) for the fault window."""
+    plane.inject_partition("client_s1", start_us, end_us)
+
+
+def _install_disk_spike(
+    plane: FaultPlane, service: Any, start_us: float, end_us: float
+) -> None:
+    """Producer-card disks slow 30x and throw occasional media errors."""
+    plane.inject_disk_latency("*.i2o*.disk*", start_us, end_us, mult=30.0)
+    plane.inject_disk_errors("*.i2o*.disk*", start_us, end_us, rate=0.02)
+
+
+def _install_ni_crash(
+    plane: FaultPlane, service: Any, start_us: float, end_us: float
+) -> None:
+    """The scheduler NI crashes at fault onset and resets at clearance."""
+    plane.schedule_card_crash(
+        service.card, at_us=start_us, down_us=end_us - start_us
+    )
+
+
+SCENARIOS: dict[str, ChaosScenario] = {
+    s.name: s
+    for s in (
+        ChaosScenario(
+            name="baseline",
+            description="no faults (control: must match Figure 9 exactly)",
+            start_frac=0.5,
+            end_frac=0.5,
+            installer=_install_nothing,
+        ),
+        ChaosScenario(
+            name="link-burst",
+            description="30% frame loss to all clients mid-run",
+            start_frac=0.4,
+            end_frac=0.6,
+            installer=_install_link_burst,
+        ),
+        ChaosScenario(
+            name="partition",
+            description="client_s1 fully partitioned mid-run",
+            start_frac=0.4,
+            end_frac=0.55,
+            installer=_install_partition,
+        ),
+        ChaosScenario(
+            name="disk-spike",
+            description="producer disks 30x slower with 2% media errors",
+            start_frac=0.4,
+            end_frac=0.6,
+            installer=_install_disk_spike,
+        ),
+        ChaosScenario(
+            name="ni-crash",
+            description="scheduler NI crashes, resets after the window",
+            start_frac=0.4,
+            end_frac=0.48,
+            installer=_install_ni_crash,
+        ),
+    )
+}

@@ -9,7 +9,7 @@ PIO/peer-to-peer DMA, SCSI disks with UFS/dosFs filesystem models, switched
 from .bus import Bus
 from .cache import DataCache
 from .cpu import CPU, CPUSpec, I960RD_66, PENTIUM_PRO_200, ULTRASPARC_300
-from .disk import SCSIDisk
+from .disk import DiskMediaError, SCSIDisk
 from .ethernet import (
     CLIENT_STACK,
     HOST_STACK,
@@ -35,6 +35,7 @@ __all__ = [
     "PENTIUM_PRO_200",
     "ULTRASPARC_300",
     "SCSIDisk",
+    "DiskMediaError",
     "EthernetLink",
     "EthernetPort",
     "EthernetSwitch",

@@ -19,7 +19,15 @@ from typing import Generator, Optional
 
 from repro.sim import Environment, Event, Resource
 
-__all__ = ["SCSIDisk", "DiskStats"]
+__all__ = ["SCSIDisk", "DiskStats", "DiskMediaError"]
+
+
+class DiskMediaError(RuntimeError):
+    """An access failed at the media (injected fault or grown defect).
+
+    The command still consumed the positioning time before the drive gave
+    up; callers are expected to retry with backoff (see the streaming
+    services' read-retry path)."""
 
 
 class DiskStats:
@@ -31,6 +39,7 @@ class DiskStats:
         self.bytes_read = 0
         self.bytes_written = 0
         self.sequential_hits = 0
+        self.media_errors = 0
 
     def __repr__(self) -> str:
         return (
@@ -104,7 +113,20 @@ class SCSIDisk:
                 and self._last_end_offset is not None
                 and offset == self._last_end_offset
             )
-            yield self.env.timeout(self.access_time_us(nbytes, sequential))
+            access_us = self.access_time_us(nbytes, sequential)
+            plane = getattr(self.env, "fault_plane", None)
+            if plane is not None:
+                access_us += plane.disk_delay_us(self.name, access_us)
+                if plane.disk_error(self.name):
+                    # the drive positions, retries internally, then gives up
+                    yield self.env.timeout(access_us)
+                    self.stats.media_errors += 1
+                    self._last_end_offset = None  # head position unknown
+                    raise DiskMediaError(
+                        f"{self.name}: media error on "
+                        f"{'write' if write else 'read'} of {nbytes} bytes"
+                    )
+            yield self.env.timeout(access_us)
             if offset is not None:
                 self._last_end_offset = offset + nbytes
             else:

@@ -183,6 +183,10 @@ class EthernetSwitch:
             if self._loss_rng.random() < self.loss_rate:
                 self.frames_dropped += 1
                 return  # frame vanishes (congestion drop)
+        plane = getattr(self.env, "fault_plane", None)
+        if plane is not None and plane.frame_lost(dest):
+            self.frames_dropped += 1
+            return  # injected fault: loss burst or partition
         yield from downlink.transmit(frame.wire_bytes)
         self.frames_forwarded += 1
         port.inbox.put(frame)

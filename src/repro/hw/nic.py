@@ -18,7 +18,7 @@ is why the paper dedicates a disk-less NI to the scheduler (§4.2).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.sim import Environment
 
@@ -65,6 +65,13 @@ class I960RDCard:
         ]
         self._disks: list[SCSIDisk] = []
         self._filesystems: list[DosFS] = []
+        # -- fault hooks: a crashed card serves nothing until reset ---------
+        self.crashed = False
+        self.crash_count = 0
+        #: callbacks fired on crash()/reset() — services subscribe to shed
+        #: and re-admit streams (graceful degradation instead of wedging)
+        self.on_crash: list[Callable[[], None]] = []
+        self.on_reset: list[Callable[[], None]] = []
         segment.attach(self)
 
     # -- storage -----------------------------------------------------------------
@@ -96,6 +103,25 @@ class I960RDCard:
     @property
     def has_disks(self) -> bool:
         return bool(self._disks)
+
+    # -- fault injection ------------------------------------------------------------
+    def crash(self) -> None:
+        """Hard fault: firmware wedge / watchdog trip. The card stops
+        serving (frames in its memory are lost) until :meth:`reset`."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crash_count += 1
+        for callback in list(self.on_crash):
+            callback()
+
+    def reset(self) -> None:
+        """Bring a crashed card back (board reset + runtime reload)."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        for callback in list(self.on_reset):
+            callback()
 
     # -- cache policy ---------------------------------------------------------------
     def enable_data_cache(self) -> None:

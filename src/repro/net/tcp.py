@@ -8,6 +8,14 @@ segments, cumulative ACKs, retransmission timeout with go-back-N recovery,
 in-order reassembly, and FIN teardown. It survives the switch's loss model
 (`EthernetSwitch(loss_rate=...)`), which is the point.
 
+Retransmission is hardened against *sustained* loss (fault-plane bursts,
+partitions): the RTO backs off exponentially (optionally jittered by a
+seeded RNG) up to ``rto_max_us`` instead of retransmitting at a fixed
+interval forever, resets on ACK progress, and a connection that exhausts
+``max_retries`` consecutive timeouts aborts into the ``"reset"`` state
+rather than spinning. Attach a :class:`~repro.sim.Tracer` to observe the
+backoff ('tcp'/'rto' events carry the expired interval per timeout).
+
 Sequence numbers count *segments* (not bytes) — a simplification that
 keeps the protocol honest (loss, reordering, duplication all handled)
 while keeping reassembly bookkeeping readable.
@@ -76,6 +84,10 @@ class TCPConnection:
         mss: int,
         window: int,
         rto_us: float,
+        rto_max_us: Optional[float] = None,
+        max_retries: int = 12,
+        jitter_frac: float = 0.0,
+        rng=None,
     ) -> None:
         self.stack = stack
         self.env = stack.env
@@ -85,6 +97,13 @@ class TCPConnection:
         self.mss = mss
         self.window = window
         self.rto_us = rto_us
+        self.rto_max_us = rto_max_us if rto_max_us is not None else 16.0 * rto_us
+        self.max_retries = max_retries
+        self.jitter_frac = jitter_frac
+        self._rng = rng
+        self._rto_cur = rto_us  # current backed-off RTO
+        self._consecutive_rtos = 0
+        self.aborted = False
         self.state = "closed"
         # -- sender side ----------------------------------------------------
         self._next_seq = 0  # next new segment index to assign
@@ -177,12 +196,28 @@ class TCPConnection:
                 continue
             # await ACK progress or retransmission timeout
             base_before = self._send_base
+            wait_us = self._rto_interval()
+            timeout_ev = env.timeout(wait_us)
             self._send_signal = env.event()
-            result = yield self._send_signal | env.timeout(self.rto_us)
+            result = yield self._send_signal | timeout_ev
             self._send_signal = None
-            if self._send_base == base_before and self._segments:
+            if (
+                timeout_ev in result
+                and self._send_base == base_before
+                and self._segments
+            ):
                 # RTO: go-back-N — resend every outstanding segment
                 # (snapshot again: ACKs may land between retransmissions)
+                self._consecutive_rtos += 1
+                self._trace(
+                    "rto",
+                    rto_us=wait_us,
+                    attempt=self._consecutive_rtos,
+                    outstanding=len(self._segments),
+                )
+                if self._consecutive_rtos > self.max_retries:
+                    self._abort()
+                    return
                 outstanding = sorted(self._segments)
                 self.retransmissions += len(outstanding)
                 for seq in outstanding:
@@ -191,6 +226,32 @@ class TCPConnection:
                         continue
                     self.segments_sent += 1
                     yield from self.stack._transmit(seg, self.peer_host)
+                self._rto_cur = min(self._rto_cur * 2.0, self.rto_max_us)
+
+    def _rto_interval(self) -> float:
+        """The next retransmission wait: backed-off RTO plus optional jitter.
+
+        Jitter desynchronises connections that timed out together (a loss
+        burst hits every stream at once; without jitter they all retransmit
+        in lock-step into the same congested window).
+        """
+        rto = self._rto_cur
+        if self._rng is not None and self.jitter_frac > 0.0:
+            rto *= 1.0 + self.jitter_frac * float(self._rng.random())
+        return rto
+
+    def _abort(self) -> None:
+        """Give up after max_retries consecutive RTOs: the peer is gone."""
+        self.aborted = True
+        self.state = "reset"
+        self._trace("abort", retries=self._consecutive_rtos)
+        self._segments.clear()
+        self._pending.clear()
+
+    def _trace(self, name: str, **fields: Any) -> None:
+        tracer = self.stack.tracer
+        if tracer is not None and tracer.wants("tcp"):
+            tracer.emit("tcp", name, port=self.local_port, **fields)
 
     def _fill_window(self) -> bool:
         progressed = False
@@ -235,6 +296,9 @@ class TCPConnection:
                 for s in range(self._send_base, seg.ack):
                     self._segments.pop(s, None)
                 self._send_base = seg.ack
+                # forward progress: the path works again, undo the backoff
+                self._rto_cur = self.rto_us
+                self._consecutive_rtos = 0
                 self._kick_sender()
             return
         if seg.kind == "data":
@@ -309,20 +373,43 @@ class TCPStack:
         mss: int = 1460,
         window: int = 8,
         rto_us: float = 200_000.0,
+        rto_max_us: Optional[float] = None,
+        max_retries: int = 12,
+        jitter_frac: float = 0.0,
+        rng=None,
+        tracer=None,
         name: Optional[str] = None,
     ) -> None:
         if mss < 1 or window < 1 or rto_us <= 0:
             raise ValueError("mss, window, rto must be positive")
+        if max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
         self.env = env
         self.eth_port = eth_port
         self.stack = stack
         self.mss = mss
         self.window = window
         self.rto_us = rto_us
+        self.rto_max_us = rto_max_us if rto_max_us is not None else 16.0 * rto_us
+        self.max_retries = max_retries
+        self.jitter_frac = jitter_frac
+        self.rng = rng
+        self.tracer = tracer
         self.name = name or f"tcp:{eth_port.name}"
         self._listeners: dict[int, Store] = {}
         self._connections: dict[tuple[str, int, int], TCPConnection] = {}
-        env.process(self._demux(), name=f"{self.name}.demux")
+        # Stacks sharing one port share ONE demux: with two independent
+        # receive loops on the same port, frames are stolen round-robin by
+        # whichever loop's get is queued first, and a segment can land on a
+        # stack that has no matching connection (silently eaten — the peer
+        # only recovers via RTO). The first stack on the port runs the
+        # demux; it routes each segment across every registered stack.
+        peers = getattr(eth_port, "_tcp_stacks", None)
+        if peers is None:
+            peers = []
+            eth_port._tcp_stacks = peers  # type: ignore[attr-defined]
+            env.process(self._demux(), name=f"{self.name}.demux")
+        peers.append(self)
 
     # -- endpoint API ------------------------------------------------------------
     def listen(self, port: int) -> Store:
@@ -349,9 +436,11 @@ class TCPStack:
             src_port=src_port,
             dst_port=dest_port,
         )
+        syn_wait_us = self.rto_us
         for _attempt in range(8):
             yield from self._transmit(syn, dest_host)
-            result = yield conn._established | self.env.timeout(self.rto_us)
+            result = yield conn._established | self.env.timeout(syn_wait_us)
+            syn_wait_us = min(syn_wait_us * 2.0, self.rto_max_us)
             if conn._established in result:
                 conn.state = "established"
                 conn._sender_proc = self.env.process(
@@ -368,6 +457,8 @@ class TCPStack:
         return TCPConnection(
             self, local_port, peer_host, peer_port,
             mss=self.mss, window=self.window, rto_us=self.rto_us,
+            rto_max_us=self.rto_max_us, max_retries=self.max_retries,
+            jitter_frac=self.jitter_frac, rng=self.rng,
         )
 
     def _transmit(self, seg: Segment, dest_host: str) -> Generator[Event, None, None]:
@@ -387,39 +478,59 @@ class TCPStack:
             if not isinstance(seg, Segment):
                 continue
             yield self.env.timeout(self.stack.cost_us(seg.payload_bytes or 1))
-            key = (seg.src_host, seg.src_port, seg.dst_port)
-            conn = self._connections.get(key)
-            if seg.kind == "syn":
-                accept = self._listeners.get(seg.dst_port)
-                if accept is None:
-                    continue  # no listener: SYN silently dropped
-                if conn is None:
-                    conn = self._make_connection(
-                        seg.dst_port, seg.src_host, seg.src_port
-                    )
-                    conn.state = "established"
-                    conn._sender_proc = self.env.process(
-                        conn._sender(), name=f"{self.name}:{seg.dst_port}.sender"
-                    )
-                    self._connections[key] = conn
-                    accept.put(conn)
-                # (re)confirm — SYNACK retransmit-safe
-                self.env.process(
-                    self._transmit(
-                        Segment(
-                            kind="synack",
-                            src_host=self.eth_port.name,
-                            src_port=seg.dst_port,
-                            dst_port=seg.src_port,
-                        ),
-                        seg.src_host,
-                    )
-                )
-                continue
-            if conn is None:
-                continue  # stray segment for an unknown connection
-            if seg.kind == "synack":
-                if not conn._established.triggered:
-                    conn._established.succeed()
-                continue
-            conn._on_segment(seg)
+            self._deliver(seg)
+
+    def _deliver(self, seg: Segment) -> None:
+        """Route one segment to the owning stack on this port."""
+        key = (seg.src_host, seg.src_port, seg.dst_port)
+        stacks = getattr(self.eth_port, "_tcp_stacks", None) or [self]
+        owner: Optional["TCPStack"] = None
+        conn: Optional[TCPConnection] = None
+        for stack in stacks:
+            conn = stack._connections.get(key)
+            if conn is not None:
+                owner = stack
+                break
+        if seg.kind == "syn":
+            if owner is None:
+                for stack in stacks:
+                    if seg.dst_port in stack._listeners:
+                        owner = stack
+                        break
+                if owner is None:
+                    return  # no listener anywhere on the port: SYN dropped
+            owner._handle_syn(seg, key)
+            return
+        if conn is None or owner is None:
+            return  # stray segment for an unknown connection
+        if seg.kind == "synack":
+            if not conn._established.triggered:
+                conn._established.succeed()
+            return
+        conn._on_segment(seg)
+
+    def _handle_syn(self, seg: Segment, key: tuple[str, int, int]) -> None:
+        conn = self._connections.get(key)
+        accept = self._listeners.get(seg.dst_port)
+        if conn is None:
+            if accept is None:
+                return  # no listener: SYN silently dropped
+            conn = self._make_connection(seg.dst_port, seg.src_host, seg.src_port)
+            conn.state = "established"
+            conn._sender_proc = self.env.process(
+                conn._sender(), name=f"{self.name}:{seg.dst_port}.sender"
+            )
+            self._connections[key] = conn
+            accept.put(conn)
+        # (re)confirm — SYNACK retransmit-safe
+        self.env.process(
+            self._transmit(
+                Segment(
+                    kind="synack",
+                    src_host=self.eth_port.name,
+                    src_port=seg.dst_port,
+                    dst_port=seg.src_port,
+                ),
+                seg.src_host,
+            )
+        )

@@ -21,12 +21,14 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
+from repro.core.admission import AdmissionController
 from repro.core.attributes import StreamSpec
 from repro.core.costs import DWCSCostModel
 from repro.core.dwcs import DWCSScheduler
 from repro.core.engine import StreamingEngine
 from repro.fixedpoint import ArithmeticContext, FixedPointContext
 from repro.hw.cpu import CPU
+from repro.hw.disk import DiskMediaError
 from repro.hw.ethernet import EthernetPort, EthernetSwitch, NetFrame
 from repro.hw.memory import Allocation, OutOfMemoryError
 from repro.hw.nic import I960RDCard, Intel82557NIC
@@ -62,12 +64,24 @@ HOST_DWCS_COSTS = DWCSCostModel(
 class _BaseService:
     """Shared stream/client bookkeeping."""
 
-    def __init__(self, env: Environment, switch: EthernetSwitch) -> None:
+    def __init__(
+        self,
+        env: Environment,
+        switch: EthernetSwitch,
+        admission: Optional[AdmissionController] = None,
+    ) -> None:
         self.env = env
         self.switch = switch
+        #: optional admission ledger; when present, open_stream can enforce
+        #: the utilization bound and failures shed/re-admit through it
+        self.admission = admission
         self.clients: dict[str, MPEGClient] = {}
         self._dest_of_stream: dict[str, str] = {}
         self.engine: StreamingEngine  # set by subclass
+        #: disk media errors survived by producers (retry succeeded or the
+        #: frame was skipped)
+        self.read_errors = 0
+        self.frames_skipped = 0
 
     def attach_client(self, name: str) -> MPEGClient:
         """Create an MPEG client machine on the switch."""
@@ -77,9 +91,18 @@ class _BaseService:
         self.clients[name] = client
         return client
 
-    def open_stream(self, spec: StreamSpec, client_name: str) -> None:
+    def open_stream(
+        self,
+        spec: StreamSpec,
+        client_name: str,
+        service_time_us: Optional[float] = None,
+    ) -> None:
         if client_name not in self.clients:
             raise KeyError(f"no client {client_name!r} attached")
+        if self.admission is not None and service_time_us is not None:
+            decision = self.admission.admit(spec, service_time_us)
+            if not decision.admitted:
+                raise RuntimeError(f"admission refused: {decision.reason}")
         self.engine.scheduler.add_stream(spec)
         self._dest_of_stream[spec.stream_id] = client_name
 
@@ -111,6 +134,36 @@ class _BaseService:
             yield self.env.timeout(10_000.0)
         self.engine.submit(frame)
 
+    def _read_with_retry(
+        self,
+        fs_file,
+        nbytes: int,
+        max_attempts: int = 6,
+        backoff_us: float = 5_000.0,
+    ) -> Generator:
+        """Process: read *nbytes*, rewinding at EOF and retrying transient
+        media errors with exponential backoff.
+
+        Returns the byte count read, or 0 when every attempt failed — the
+        producer then skips the frame instead of dying (one lost frame is a
+        DWCS-tolerable loss; a dead producer is a dead stream).
+        """
+        wait_us = backoff_us
+        for _attempt in range(max_attempts):
+            try:
+                got = yield from fs_file.read_next(nbytes)
+            except DiskMediaError:
+                self.read_errors += 1
+                yield self.env.timeout(wait_us)
+                wait_us *= 2.0
+                continue
+            if got == 0:
+                fs_file.rewind()
+                continue
+            return got
+        self.frames_skipped += 1
+        return 0
+
 
 class NIStreamingService(_BaseService):
     """DWCS on a dedicated i960 RD scheduler card under VxWorks."""
@@ -124,8 +177,9 @@ class NIStreamingService(_BaseService):
         ctx: Optional[ArithmeticContext] = None,
         costs: Optional[DWCSCostModel] = None,
         enable_cache: bool = True,
+        admission: Optional[AdmissionController] = None,
     ) -> None:
-        super().__init__(env, switch)
+        super().__init__(env, switch, admission=admission)
         self.node = node
         #: the dedicated scheduler NI: no disks, so the cache may be enabled
         self.card = node.add_i960_card(segment=scheduler_segment)
@@ -152,6 +206,36 @@ class NIStreamingService(_BaseService):
         #: frames in NI memory")
         self._frame_allocs: dict[int, Allocation] = {}
         self.engine.on_drop = self._release_dropped
+        # graceful degradation: crash sheds, reset re-admits (see
+        # :mod:`repro.faults` for the injection side)
+        self.card.on_crash.append(self._on_card_crash)
+        self.card.on_reset.append(self._on_card_reset)
+        self.frames_lost_to_crash = 0
+
+    # -- failure handling -----------------------------------------------------
+    def _on_card_crash(self) -> None:
+        """NI went down: park the scheduler and shed the admitted streams.
+
+        Queued transmit descriptors die with the card (their single-copy
+        frame bodies are freed); frames already in the scheduler rings age
+        out and are dropped/accounted by DWCS miss processing on resume.
+        """
+        self.engine.pause()
+        for desc in self._txq.items:
+            self.frames_lost_to_crash += 1
+            alloc = self._frame_allocs.pop(id(desc.frame), None)
+            if alloc is not None:
+                alloc.free()
+        self._txq.items.clear()
+        if self.admission is not None:
+            for stream_id in self.admission.admitted_streams:
+                self.admission.suspend(stream_id)
+
+    def _on_card_reset(self) -> None:
+        """NI back up: re-admit what fits, restart the scheduler task."""
+        if self.admission is not None:
+            self.admission.resume_all()
+        self.engine.resume()
 
     def _transmit(self, desc: FrameDescriptor) -> Generator:
         yield self._txq.put(desc)
@@ -179,6 +263,13 @@ class NIStreamingService(_BaseService):
         port = self.card.eth_ports[0]
         while True:
             desc: FrameDescriptor = yield self._txq.get()
+            if self.card.crashed:
+                # dispatched into the crash window: the frame is lost
+                self.frames_lost_to_crash += 1
+                alloc = self._frame_allocs.pop(id(desc.frame), None)
+                if alloc is not None:
+                    alloc.free()
+                continue
             yield task.compute(self.card.stack.cost_us(desc.size_bytes))
             dest = self._dest_of_stream[desc.stream_id]
             frame = NetFrame(
@@ -207,10 +298,9 @@ class NIStreamingService(_BaseService):
 
         def producer() -> Generator:
             for i, frame in enumerate(file.frames):
-                got = yield from fs_file.read_next(frame.size_bytes)
+                got = yield from self._read_with_retry(fs_file, frame.size_bytes)
                 if got == 0:
-                    fs_file.rewind()
-                    yield from fs_file.read_next(frame.size_bytes)
+                    continue  # unreadable after retries: skip the frame
                 yield from self._reserve_frame_memory(frame)
                 yield from producer_card.dma.peer_transfer(frame.size_bytes)
                 yield from self._submit_with_backpressure(frame)
@@ -233,8 +323,9 @@ class HostStreamingService(_BaseService):
         costs: Optional[DWCSCostModel] = None,
         bind_cpu: Optional[int] = None,
         priority: int = 120,
+        admission: Optional[AdmissionController] = None,
     ) -> None:
-        super().__init__(env, switch)
+        super().__init__(env, switch, admission=admission)
         self.node = node
         self.nic = node.add_82557_nic(segment=nic_segment)
         switch.attach(self.nic.eth_port)
@@ -307,10 +398,9 @@ class HostStreamingService(_BaseService):
 
         def producer(task: Task) -> Generator:
             for i, frame in enumerate(file.frames):
-                got = yield from fs_file.read_next(frame.size_bytes)
+                got = yield from self._read_with_retry(fs_file, frame.size_bytes)
                 if got == 0:
-                    fs_file.rewind()
-                    yield from fs_file.read_next(frame.size_bytes)
+                    continue  # unreadable after retries: skip the frame
                 yield from bridge.transfer(frame.size_bytes)
                 yield task.compute(segmentation_us)  # parse/segment the frame
                 yield from self._submit_with_backpressure(frame)

@@ -11,6 +11,7 @@ external tooling.
 from __future__ import annotations
 
 import json
+from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable, Optional
 
@@ -63,7 +64,9 @@ class Tracer:
         self.env = env
         self.categories = frozenset(categories) if categories is not None else None
         self.capacity = capacity
-        self._events: list[TraceEvent] = []
+        # deque(maxlen=...) evicts the oldest event in O(1); a plain list
+        # would pay an O(capacity) front-delete on every emit once full.
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
         self.emitted = 0
         self.discarded = 0
 
@@ -76,13 +79,11 @@ class Tracer:
         if not self.wants(category):
             return
         self.emitted += 1
+        if len(self._events) == self.capacity:
+            self.discarded += 1  # deque drops the oldest on append
         self._events.append(
             TraceEvent(time_us=self.env.now, category=category, name=name, fields=fields)
         )
-        if len(self._events) > self.capacity:
-            overflow = len(self._events) - self.capacity
-            del self._events[:overflow]
-            self.discarded += overflow
 
     # -- queries --------------------------------------------------------------
     def __len__(self) -> int:

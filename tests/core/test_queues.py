@@ -121,3 +121,65 @@ class TestOpProfiles:
         r2.enqueue(desc(2, "s2"), ops)
         assert r1.pop(ops).frame.stream_id == "s1"
         assert r2.pop(ops).frame.stream_id == "s2"
+
+
+class TestHandleLifecycle:
+    """HardwareQueueRing's 32-bit handle space and side table."""
+
+    def test_next_handle_wraps_past_32_bits_skipping_zero(self):
+        ring = HardwareQueueRing("s1", HardwareQueueFile(), base=0, capacity=4)
+        ring._next_handle = 0xFFFFFFFF
+        ops = OpCounter()
+        ring.enqueue(desc(0), ops)  # consumes 0xFFFFFFFF
+        # the increment wrapped to 0, which means "empty register" and must
+        # be skipped — the next handle issued is 1
+        assert ring._next_handle == 1
+        ring.enqueue(desc(1), ops)
+        assert ring.registers.inspect(0) == 0xFFFFFFFF
+        assert ring.registers.inspect(1) == 1
+        assert ring.pop(ops).frame.seqno == 0
+        assert ring.pop(ops).frame.seqno == 1
+
+    def test_pop_releases_stale_handle(self):
+        ring = HardwareQueueRing("s1", HardwareQueueFile(), base=0, capacity=4)
+        ops = OpCounter()
+        ring.enqueue(desc(0), ops)
+        handle = ring.registers.inspect(0)
+        assert handle in ring._handles
+        ring.pop(ops)
+        assert handle not in ring._handles
+
+    def test_side_table_bounded_under_interleaved_churn(self):
+        """Mixed enqueue/pop traffic (not strict lock-step) must never grow
+        the handle table past the ring capacity."""
+        ring = HardwareQueueRing("s1", HardwareQueueFile(), base=0, capacity=8)
+        ops = OpCounter()
+        seq = 0
+        for round_ in range(50):
+            burst = (round_ % 8) + 1
+            for _ in range(burst):
+                if not ring.full:
+                    ring.enqueue(desc(seq), ops)
+                    seq += 1
+            drain = (round_ % 5) + 1
+            for _ in range(drain):
+                if not ring.empty:
+                    ring.pop(ops)
+            assert len(ring._handles) <= ring.capacity
+        while not ring.empty:
+            ring.pop(ops)
+        assert len(ring._handles) == 0
+
+    def test_handle_reuse_after_wraparound_churn(self):
+        """Handles stay resolvable across the 32-bit wrap even with live
+        descriptors in the ring."""
+        ring = HardwareQueueRing("s1", HardwareQueueFile(), base=0, capacity=4)
+        ring._next_handle = 0xFFFFFFFE
+        ops = OpCounter()
+        for i in range(8):  # crosses the wrap with a part-full ring
+            ring.enqueue(desc(i), ops)
+            if i % 2 == 1:
+                ring.pop(ops)
+                ring.pop(ops)
+        assert ring.empty
+        assert len(ring._handles) == 0

@@ -2,9 +2,10 @@
 
 import pytest
 
+from repro.faults import FaultPlane
 from repro.hw import EthernetPort, EthernetSwitch, I960_STACK
 from repro.net import TCPError, TCPStack
-from repro.sim import Environment, RandomStreams, S
+from repro.sim import Environment, RandomStreams, S, Tracer
 
 
 def topology(env, loss_rate=0.0, seed=3, **stack_kw):
@@ -250,3 +251,109 @@ class TestOutageRecovery:
         env.run(until=30 * S)
         assert got == list(range(20))
         assert client.retransmissions > 0
+
+
+class TestExponentialBackoff:
+    def test_thirty_percent_loss_burst_recovers_with_backoff(self):
+        """Acceptance: a 30% injected loss burst recovers with bounded
+        retransmissions, and the exponential backoff shows in the trace."""
+        env = Environment()
+        tracer = Tracer(env)
+        plane = FaultPlane(env, seed=13)
+        # the burst hits the data direction after the handshake settles
+        plane.inject_link_loss("hostB", 6 * S, 8 * S, rate=0.30)
+        _sw, a, b = topology(env, rto_us=50_000.0, tracer=tracer)
+        client, server = establish(env, a, b)
+        got = []
+
+        def receiver():
+            while True:
+                rec = yield server.recv()
+                got.append(rec["data"])
+
+        def sender():
+            for i in range(25):
+                client.send(1000, data=i)
+                yield env.timeout(150_000.0)
+
+        env.process(receiver())
+        env.process(sender())
+        env.run(until=40 * S)
+        assert got == list(range(25))  # every record delivered despite the burst
+        assert not client.aborted
+        assert client.retransmissions > 0
+        assert client.retransmissions < 200  # bounded, not a retransmit storm
+        assert plane.injected["link-loss"] > 0
+        rtos = tracer.events(category="tcp", name="rto")
+        assert rtos  # the timeout machinery engaged
+        # exponential backoff observable: attempt k waited base * 2^(k-1)
+        for e in rtos:
+            expected = min(50_000.0 * 2 ** (e.fields["attempt"] - 1), 16 * 50_000.0)
+            assert e.fields["rto_us"] == pytest.approx(expected)
+        assert max(e.fields["attempt"] for e in rtos) >= 2
+
+    def test_rto_doubles_up_to_cap_during_partition(self):
+        env = Environment()
+        tracer = Tracer(env)
+        plane = FaultPlane(env, seed=2)
+        plane.inject_partition("hostB", 6 * S, 1e12)
+        _sw, a, b = topology(
+            env, rto_us=10_000.0, rto_max_us=80_000.0, tracer=tracer
+        )
+        client, server = establish(env, a, b)
+
+        def sender():
+            yield env.timeout(1.5 * S)  # well inside the partition (t >= 6.5 s)
+            client.send(1000, data="x")
+
+        env.process(sender())
+        env.run(until=9 * S)
+        waits = [e.fields["rto_us"] for e in tracer.events(category="tcp", name="rto")]
+        assert waits[:5] == [10_000.0, 20_000.0, 40_000.0, 80_000.0, 80_000.0]
+
+    def test_retry_exhaustion_aborts_connection(self):
+        env = Environment()
+        tracer = Tracer(env)
+        plane = FaultPlane(env, seed=2)
+        plane.inject_partition("hostB", 6 * S, 1e12)
+        _sw, a, b = topology(env, rto_us=10_000.0, max_retries=5, tracer=tracer)
+        client, server = establish(env, a, b)
+
+        def sender():
+            yield env.timeout(1.5 * S)
+            client.send(1000, data="x")
+
+        env.process(sender())
+        env.run(until=20 * S)
+        assert client.aborted
+        assert client.state == "reset"
+        assert not client._segments and not client._pending
+        aborts = tracer.events(category="tcp", name="abort")
+        assert len(aborts) == 1
+        assert aborts[0].fields["retries"] == 6  # max_retries + the final straw
+        with pytest.raises(TCPError, match="reset"):
+            client.send(100)
+
+    def test_jittered_rto_stays_within_fraction(self):
+        env = Environment()
+        tracer = Tracer(env)
+        plane = FaultPlane(env, seed=2)
+        plane.inject_partition("hostB", 6 * S, 1e12)
+        rng = RandomStreams(99).stream("tcp-jitter")
+        _sw, a, b = topology(
+            env, rto_us=10_000.0, jitter_frac=0.25, rng=rng, tracer=tracer
+        )
+        client, server = establish(env, a, b)
+
+        def sender():
+            yield env.timeout(1.5 * S)
+            client.send(1000, data="x")
+
+        env.process(sender())
+        env.run(until=8 * S)
+        rtos = tracer.events(category="tcp", name="rto")
+        assert rtos
+        base = 10_000.0
+        for e in rtos:
+            nominal = min(base * 2 ** (e.fields["attempt"] - 1), 16 * base)
+            assert nominal <= e.fields["rto_us"] <= nominal * 1.25
