@@ -114,6 +114,31 @@ class StreamState:
         self.y_cur = self.spec.loss_y
         self.window_resets += 1
 
+    # -- checkpoint / restore (HA plane) -------------------------------------
+    #: fields mirrored to host memory by the checkpointing plane; spec and
+    #: created_seq are carried separately (spec is immutable, created_seq is
+    #: local to the adopting scheduler's FCFS order)
+    CHECKPOINT_FIELDS = (
+        "x_cur",
+        "y_cur",
+        "deadline_us",
+        "first_deadline_set",
+        "serviced",
+        "dropped",
+        "sent_late",
+        "violations",
+        "window_resets",
+    )
+
+    def checkpoint(self) -> dict:
+        """Snapshot the mutable window/tally state (plain dict, copyable)."""
+        return {name: getattr(self, name) for name in self.CHECKPOINT_FIELDS}
+
+    def restore(self, snapshot: dict) -> None:
+        """Overwrite the mutable state from a :meth:`checkpoint` snapshot."""
+        for name in self.CHECKPOINT_FIELDS:
+            setattr(self, name, snapshot[name])
+
     def __repr__(self) -> str:
         return (
             f"<StreamState {self.stream_id!r} W'={self.x_cur}/{self.y_cur} "

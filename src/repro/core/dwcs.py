@@ -165,6 +165,41 @@ class DWCSScheduler:
         del self.queues[stream_id]
         self._anchor.pop(stream_id, None)
 
+    # -- checkpoint / migration (HA plane) --------------------------------------
+    def export_stream(self, stream_id: str) -> dict:
+        """Portable snapshot of one stream's scheduling state.
+
+        Carries everything :meth:`adopt_stream` needs to continue the
+        stream's window accounting and deadline sequence on another
+        scheduler instance: the immutable spec, the mutable
+        :meth:`~repro.core.attributes.StreamState.checkpoint`, the deadline
+        anchor, and the count of deadlines already assigned.
+        """
+        state = self.streams[stream_id]
+        return {
+            "spec": state.spec,
+            "state": state.checkpoint(),
+            "anchor_us": self._anchor.get(stream_id),
+            "enqueued_total": self.queues[stream_id].enqueued_total,
+        }
+
+    def adopt_stream(self, snapshot: dict) -> StreamState:
+        """Admit a migrated stream, continuing its exported state.
+
+        The stream starts with an empty queue (in-flight frames died with
+        the failed card); the restored window constraint, tallies, and
+        deadline sequence mean the next enqueued frame carries deadline
+        ``anchor + (enqueued_total+1)·T`` — exactly the deadline it would
+        have carried on the original card.
+        """
+        spec: StreamSpec = snapshot["spec"]
+        state = self.add_stream(spec)
+        state.restore(snapshot["state"])
+        if snapshot["anchor_us"] is not None:
+            self._anchor[spec.stream_id] = snapshot["anchor_us"]
+        self.queues[spec.stream_id].enqueued_total = snapshot["enqueued_total"]
+        return state
+
     @property
     def backlog(self) -> int:
         """Total packets queued across streams."""

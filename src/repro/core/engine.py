@@ -121,6 +121,12 @@ class StreamingEngine:
         #: optional callback invoked for every dropped descriptor (frame
         #: memory reclamation, loss reporting, ...)
         self.on_drop: Optional[Callable[[FrameDescriptor], None]] = None
+        #: optional callback invoked after every cycle that changed stream
+        #: state (a dispatch and/or drops) — the checkpointing plane's hook;
+        #: receives the :class:`~repro.core.dwcs.Decision`
+        self.on_epoch: Optional[Callable[[Decision], None]] = None
+        #: state-changing cycles completed (epochs the HA plane mirrors)
+        self.epochs = 0
         #: how long to sleep when nothing is eligible and no release is known
         self.idle_poll_us = idle_poll_us
         self._wakeup: Optional[Event] = None
@@ -182,6 +188,12 @@ class StreamingEngine:
             if self.on_drop is not None:
                 for dropped in decision.dropped:
                     self.on_drop(dropped)
+            if decision.serviced is not None or decision.dropped:
+                # stream state moved this cycle: an engine epoch the
+                # checkpointing plane may mirror to host memory
+                self.epochs += 1
+                if self.on_epoch is not None:
+                    self.on_epoch(decision)
             if decision.serviced is not None:
                 if self.dispatcher is not None:
                     # strategy object decides coupled/async behaviour;

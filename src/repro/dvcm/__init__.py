@@ -5,7 +5,7 @@ runtime with run-time-loadable extension modules, and the media-scheduler
 extension the paper builds on top.
 """
 
-from .api import VCMError, VCMInterface, VCMTimeout
+from .api import VCMError, VCMInterface, VCMPeerDown, VCMTimeout
 from .cluster import DVCM_PORT, DVCMNode, RemoteCallError, RemoteVCM
 from .extension import ExtensionModule, MediaSchedulerExtension
 from .messages import HEADER_WORDS, I2OMessage, I2OReply, MessageQueuePair
@@ -15,6 +15,7 @@ __all__ = [
     "VCMInterface",
     "VCMError",
     "VCMTimeout",
+    "VCMPeerDown",
     "VCMRuntime",
     "ExtensionModule",
     "MediaSchedulerExtension",

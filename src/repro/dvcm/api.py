@@ -26,7 +26,7 @@ from repro.sim import Environment, Event
 
 from .messages import I2OMessage, MessageQueuePair
 
-__all__ = ["VCMInterface", "VCMError", "VCMTimeout"]
+__all__ = ["VCMInterface", "VCMError", "VCMTimeout", "VCMPeerDown"]
 
 
 class VCMError(RuntimeError):
@@ -35,6 +35,15 @@ class VCMError(RuntimeError):
 
 class VCMTimeout(VCMError):
     """No reply arrived within the retry budget (NI dead or link severed)."""
+
+
+class VCMPeerDown(VCMError):
+    """The target NI/peer is known dead — retrying cannot help.
+
+    Distinct from :class:`VCMTimeout` (which may just be congestion) so
+    failure detectors and callers can react immediately instead of burning
+    the whole retry budget.
+    """
 
 
 class VCMInterface:
@@ -55,6 +64,7 @@ class VCMInterface:
         name: str = "app",
         timeout_us: float = 50_000.0,
         max_retries: int = 4,
+        card=None,
     ) -> None:
         if timeout_us <= 0:
             raise ValueError("timeout must be positive")
@@ -65,9 +75,13 @@ class VCMInterface:
         self.name = name
         self.timeout_us = timeout_us
         self.max_retries = max_retries
+        #: the card behind the queue pair, when known: calls fail fast with
+        #: :class:`VCMPeerDown` instead of timing out against a crashed NI
+        self.card = card
         self.calls = 0
         self.retries = 0
         self.timeouts = 0
+        self.peer_down_errors = 0
 
     def call(
         self,
@@ -88,6 +102,9 @@ class VCMInterface:
         )
         wait_us = timeout_us if timeout_us is not None else self.timeout_us
         for attempt in range(self.max_retries + 1):
+            if self.card is not None and self.card.crashed:
+                self.peer_down_errors += 1
+                raise VCMPeerDown(f"{function}: card {self.card.name} is down")
             yield from self.queues.post(message)
             reply_ev = self.queues.wait_reply(message.msg_id)
             result = yield reply_ev | self.env.timeout(wait_us)
@@ -108,6 +125,10 @@ class VCMInterface:
             if attempt < self.max_retries:
                 self.retries += 1
                 wait_us *= 2.0
+        if self.card is not None and self.card.crashed:
+            # the card died while we were waiting out the last attempt
+            self.peer_down_errors += 1
+            raise VCMPeerDown(f"{function}: card {self.card.name} is down")
         raise VCMTimeout(
             f"{function}: no reply after {self.max_retries + 1} attempts"
         )

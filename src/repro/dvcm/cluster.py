@@ -25,6 +25,7 @@ from repro.hw.ethernet import EthernetPort, StackCosts
 from repro.net.tcp import TCPConnection, TCPError, TCPStack
 from repro.sim import Environment, Event, Store
 
+from .api import VCMPeerDown
 from .messages import I2OMessage
 from .runtime import VCMRuntime
 
@@ -94,7 +95,10 @@ class DVCMNode:
             if not isinstance(request, _Request):
                 continue  # foreign traffic on our port: ignore
             reply = self._execute(request)
-            conn.send(_ENVELOPE_BYTES, data=reply)
+            try:
+                conn.send(_ENVELOPE_BYTES, data=reply)
+            except TCPError:
+                return  # peer connection died mid-serve: stop this server
 
     def _execute(self, request: _Request) -> _Reply:
         self.remote_calls_served += 1
@@ -114,6 +118,7 @@ class RemoteVCM:
         eth_port: EthernetPort,
         stack: StackCosts,
         name: Optional[str] = None,
+        peer_poll_us: float = 100_000.0,
     ) -> None:
         self.env = env
         self.name = name or f"rvcm:{eth_port.name}"
@@ -121,7 +126,11 @@ class RemoteVCM:
         self._conns: dict[str, TCPConnection] = {}
         self._pending: dict[str, Store] = {}
         self._next_port = 40_000
+        #: how often a waiting call re-checks its connection for an abort
+        #: (TCP's go-back-N gives up asynchronously; recv never returns)
+        self.peer_poll_us = peer_poll_us
         self.calls = 0
+        self.peer_down_errors = 0
 
     def call(
         self,
@@ -134,25 +143,56 @@ class RemoteVCM:
 
         ``payload_bytes`` sizes the marshalled request on the wire (bulk
         data rides the same reliable connection).
+
+        Raises :class:`~repro.dvcm.api.VCMPeerDown` when the peer is
+        unreachable: the dial fails, the connection is already reset, or
+        TCP aborts (retry budget exhausted) while the call is in flight.
+        The broken connection is discarded so a later call re-dials.
         """
         conn = self._conns.get(peer_address)
         if conn is None:
-            conn = yield from self._dial(peer_address)
+            try:
+                conn = yield from self._dial(peer_address)
+            except TCPError as exc:
+                self.peer_down_errors += 1
+                raise VCMPeerDown(f"{peer_address}: {exc}") from exc
         request = _Request(
             call_id=next(_call_ids),
             function=function,
             payload=payload if payload is not None else {},
             payload_bytes=payload_bytes,
         )
-        conn.send(_ENVELOPE_BYTES + max(0, payload_bytes), data=request)
+        try:
+            conn.send(_ENVELOPE_BYTES + max(0, payload_bytes), data=request)
+        except TCPError as exc:
+            self._discard(peer_address)
+            self.peer_down_errors += 1
+            raise VCMPeerDown(f"{peer_address}: {exc}") from exc
         replies = self._pending[peer_address]
-        reply: _Reply = yield replies.get(
-            filter=lambda r: r.call_id == request.call_id
-        )
+        reply_ev = replies.get(filter=lambda r: r.call_id == request.call_id)
+        while True:
+            result = yield reply_ev | self.env.timeout(self.peer_poll_us)
+            if reply_ev in result:
+                reply: _Reply = result[reply_ev]
+                break
+            if conn.aborted or conn.state != "established":
+                # go-back-N gave up: the peer (or the path to it) is dead
+                replies.cancel(reply_ev)
+                self._discard(peer_address)
+                self.peer_down_errors += 1
+                raise VCMPeerDown(
+                    f"{peer_address}: connection reset while awaiting "
+                    f"{function} reply"
+                )
         self.calls += 1
         if reply.status != "ok":
             raise RemoteCallError(f"{function} on {peer_address}: {reply.result}")
         return reply.result
+
+    def _discard(self, peer_address: str) -> None:
+        """Forget a broken connection so the next call re-dials."""
+        self._conns.pop(peer_address, None)
+        self._pending.pop(peer_address, None)
 
     def _dial(self, peer_address: str) -> Generator[Event, None, TCPConnection]:
         src_port = self._next_port

@@ -105,6 +105,16 @@ class MessageQueuePair:
         for _ in range(HEADER_WORDS // 2):
             yield from self.segment.pio_read()
         self.replied += 1
+        plane = getattr(self.env, "fault_plane", None)
+        if plane is not None:
+            if plane.message_dropped(self.name):
+                # reply frame lost on the bus: the host retries the request
+                # (calls) or the watchdog misses a beat (heartbeats)
+                self.dropped += 1
+                return
+            if plane.message_duplicated(self.name):
+                self.duplicated += 1
+                yield self.outbound.put(reply)
         yield self.outbound.put(reply)
 
     def __repr__(self) -> str:

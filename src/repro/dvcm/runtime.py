@@ -39,14 +39,20 @@ class VCMRuntime:
         queues: MessageQueuePair,
         cpu: CPU,
         name: str = "vcm",
+        card=None,
     ) -> None:
         self.env = env
         self.queues = queues
         self.cpu = cpu
         self.name = name
+        #: the NI card this runtime's firmware lives on, when known: a
+        #: crashed card's runtime serves nothing (messages die unanswered,
+        #: which is what the host-side peer-down detection keys off)
+        self.card = card
         self._instructions: dict[str, Instruction] = {}
         self._modules: dict[str, ExtensionModule] = {}
         self.messages_handled = 0
+        self.messages_lost_to_crash = 0
         self.errors = 0
         #: at-most-once execution: replies cached by msg_id so a duplicated
         #: or host-retransmitted request re-sends its reply instead of
@@ -81,6 +87,12 @@ class VCMRuntime:
         """VxWorks task body: serve messages forever (at-most-once)."""
         while True:
             message: I2OMessage = yield self.queues.receive()
+            if self.card is not None and self.card.crashed:
+                # wedged firmware: the frame is consumed but never served
+                # (no reply, no compute) — callers hit their timeout or
+                # peer-down path
+                self.messages_lost_to_crash += 1
+                continue
             yield task.compute(self.cpu.time_us(MESSAGE_DISPATCH_CYCLES))
             cached = self._reply_cache.get(message.msg_id)
             if cached is not None:

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Callable
 
 from .chaos import chaos, run_chaos_scenario
+from .failover import failover, run_failover_scenario
 from .figures import (
     LoadedRun,
     figure6,
@@ -47,6 +48,8 @@ __all__ = [
     "mechanism_knockouts",
     "chaos",
     "run_chaos_scenario",
+    "failover",
+    "run_failover_scenario",
     "run_loading_experiment",
     "LoadedRun",
     "ExperimentResult",
@@ -75,6 +78,7 @@ REGISTRY: dict[str, Callable[[], ExperimentResult]] = {
     "sens_costs": cost_sensitivity,
     "sens_knockouts": mechanism_knockouts,
     "chaos": chaos,
+    "failover": failover,
 }
 
 

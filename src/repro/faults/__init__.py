@@ -11,6 +11,12 @@ experiment harness measures recovery from.
 """
 
 from .plane import FaultPlane, FaultWindow
-from .scenarios import ChaosScenario, SCENARIOS
+from .scenarios import ChaosScenario, FAILOVER_SCENARIOS, SCENARIOS
 
-__all__ = ["FaultPlane", "FaultWindow", "ChaosScenario", "SCENARIOS"]
+__all__ = [
+    "FaultPlane",
+    "FaultWindow",
+    "ChaosScenario",
+    "SCENARIOS",
+    "FAILOVER_SCENARIOS",
+]

@@ -19,11 +19,15 @@ Supported fault kinds:
 * ``disk-error`` — a read/write fails with
   :class:`~repro.hw.disk.DiskMediaError` after the positioning time;
 * ``msg-drop`` / ``msg-dup`` — an I2O message frame vanishes between host
-  and NI, or is delivered twice (bridge retry).
+  and NI, or is delivered twice (bridge retry);
+* ``udp-drop`` / ``udp-dup`` — a UDP datagram is lost or duplicated inside
+  the sending stack (buffer exhaustion, retransmitting bridge), before it
+  ever reaches the switch.
 
 NI card crash/reset is event-shaped rather than windowed:
 :meth:`FaultPlane.schedule_card_crash` drives a card's ``crash()`` and
-``reset()`` hooks at fixed times.
+``reset()`` hooks at fixed times; ``down_us=None`` crashes the card
+permanently (no reset is scheduled), the failover experiments' case.
 """
 
 from __future__ import annotations
@@ -144,13 +148,37 @@ class FaultPlane:
             FaultWindow("msg-dup", target, start_us, end_us, rate=rate)
         )
 
+    def inject_datagram_drop(
+        self, target: str, start_us: float, end_us: float, rate: float
+    ) -> FaultWindow:
+        """UDP datagrams vanish inside the sending stack."""
+        if not 0.0 < rate <= 1.0:
+            raise ValueError("drop rate must be in (0, 1]")
+        return self.add_window(
+            FaultWindow("udp-drop", target, start_us, end_us, rate=rate)
+        )
+
+    def inject_datagram_duplication(
+        self, target: str, start_us: float, end_us: float, rate: float
+    ) -> FaultWindow:
+        """UDP datagrams are transmitted twice (retransmitting bridge)."""
+        if not 0.0 < rate <= 1.0:
+            raise ValueError("duplication rate must be in (0, 1]")
+        return self.add_window(
+            FaultWindow("udp-dup", target, start_us, end_us, rate=rate)
+        )
+
     def schedule_card_crash(
-        self, card: "I960RDCard", at_us: float, down_us: float
+        self, card: "I960RDCard", at_us: float, down_us: Optional[float]
     ) -> None:
-        """Crash *card* at ``at_us`` and reset it ``down_us`` later."""
+        """Crash *card* at ``at_us`` and reset it ``down_us`` later.
+
+        ``down_us=None`` is a permanent crash: no reset is ever scheduled,
+        so recovery (if any) must come from a failover path, not the card.
+        """
         if at_us < self.env.now:
             raise ValueError("cannot schedule a crash in the past")
-        if down_us <= 0:
+        if down_us is not None and down_us <= 0:
             raise ValueError("down time must be positive")
 
         def _crash() -> None:
@@ -164,9 +192,10 @@ class FaultPlane:
             card.reset()
 
         self.env.schedule_callback(at_us - self.env.now, _crash, name="fault.crash")
-        self.env.schedule_callback(
-            at_us + down_us - self.env.now, _reset, name="fault.reset"
-        )
+        if down_us is not None:
+            self.env.schedule_callback(
+                at_us + down_us - self.env.now, _reset, name="fault.reset"
+            )
 
     # -- injection oracle (called from hardware hooks) ----------------------
     def frame_lost(self, port_name: str) -> bool:
@@ -211,6 +240,22 @@ class FaultPlane:
             return False
         self._count("msg-dup")
         self._trace("msg-dup", queue=queue_name)
+        return True
+
+    def datagram_dropped(self, stack_name: str) -> bool:
+        window = self._active("udp-drop", stack_name)
+        if window is None or not self._draw("udp", window.rate):
+            return False
+        self._count("udp-drop")
+        self._trace("udp-drop", stack=stack_name)
+        return True
+
+    def datagram_duplicated(self, stack_name: str) -> bool:
+        window = self._active("udp-dup", stack_name)
+        if window is None or not self._draw("udp", window.rate):
+            return False
+        self._count("udp-dup")
+        self._trace("udp-dup", stack=stack_name)
         return True
 
     # -- internals ----------------------------------------------------------

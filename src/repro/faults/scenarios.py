@@ -20,7 +20,7 @@ from typing import Any, Callable, Tuple
 
 from .plane import FaultPlane
 
-__all__ = ["ChaosScenario", "SCENARIOS"]
+__all__ = ["ChaosScenario", "SCENARIOS", "FAILOVER_SCENARIOS"]
 
 #: (plane, service, fault_start_us, fault_end_us) -> None
 Installer = Callable[[FaultPlane, Any, float, float], None]
@@ -120,6 +120,85 @@ SCENARIOS: dict[str, ChaosScenario] = {
             start_frac=0.4,
             end_frac=0.48,
             installer=_install_ni_crash,
+        ),
+    )
+}
+
+
+# -- failover campaigns (HAStreamingService targets) -------------------------
+#
+# These run against the multi-card HA service of
+# :mod:`repro.server.failover`; the *service* argument is an
+# HAStreamingService, and the faults aim at its first scheduler card (card
+# 0) so the watchdog/migration plane has something to detect and survive.
+
+
+def _install_card_crash(
+    plane: FaultPlane, service: Any, start_us: float, end_us: float
+) -> None:
+    """Card 0 crashes permanently: detection must come from missed beats,
+    recovery from migration — the board never resets."""
+    plane.schedule_card_crash(service.runtimes[0].card, at_us=start_us, down_us=None)
+
+
+def _install_heartbeat_partition(
+    plane: FaultPlane, service: Any, start_us: float, end_us: float
+) -> None:
+    """Card 0's I2O message path goes black for the window while the card
+    keeps scheduling: the watchdog must classify *partitioned* (the PCI
+    status probe still answers) and must NOT migrate."""
+    plane.inject_message_drop(service.planes[0].mq.name, start_us, end_us, rate=1.0)
+    # a partition has no card-crash hook to stamp the fault instant
+    plane.env.schedule_callback(
+        start_us - plane.env.now,
+        lambda: service.meter.mark_fault(service.total_violations),
+        name="fault.mark:partition",
+    )
+
+
+def _install_card_flap(
+    plane: FaultPlane, service: Any, start_us: float, end_us: float
+) -> None:
+    """Card 0 crashes and resets within the detection budget: the existing
+    shed/re-admit hooks ride it out and the watchdog must not declare the
+    flapping card dead (no migration)."""
+    plane.schedule_card_crash(
+        service.runtimes[0].card,
+        at_us=start_us,
+        down_us=0.5 * service.detection_budget_us,
+    )
+
+
+FAILOVER_SCENARIOS: dict[str, ChaosScenario] = {
+    s.name: s
+    for s in (
+        ChaosScenario(
+            name="baseline",
+            description="no faults (control: the HA plane must cost nothing)",
+            start_frac=0.5,
+            end_frac=0.5,
+            installer=_install_nothing,
+        ),
+        ChaosScenario(
+            name="card-crash",
+            description="scheduler card 0 crashes permanently; streams migrate",
+            start_frac=0.4,
+            end_frac=1.0,
+            installer=_install_card_crash,
+        ),
+        ChaosScenario(
+            name="hb-partition",
+            description="card 0 heartbeats blackholed mid-run; card stays up",
+            start_frac=0.4,
+            end_frac=0.6,
+            installer=_install_heartbeat_partition,
+        ),
+        ChaosScenario(
+            name="card-flap",
+            description="card 0 crashes and resets inside the detection budget",
+            start_frac=0.4,
+            end_frac=0.4,
+            installer=_install_card_flap,
         ),
     )
 }

@@ -1,0 +1,45 @@
+"""High availability: failure detection, checkpointing, live migration.
+
+The paper's multi-NI server treats each i960 card as an independent
+scheduling domain; this package adds the host-side supervision that makes
+card loss survivable instead of merely shed:
+
+* :mod:`repro.ha.heartbeat` — each NI runtime posts periodic DVCM
+  heartbeats over its I2O outbound queue (a reserved message id);
+* :mod:`repro.ha.watchdog` — the host-side failure detector: a
+  phi/timeout accrual watchdog that declares a card dead after K missed
+  beats, using a PCI status probe to tell a crashed card from a
+  partitioned message path;
+* :mod:`repro.ha.checkpoint` — per-stream DWCS state mirrored to host
+  memory on every engine epoch, with the mirroring traffic charged as
+  card→host DMA so it shows up honestly on the simulated PCI segment;
+* :mod:`repro.ha.migration` — the failover coordinator: re-admits a dead
+  card's streams onto survivors (capacity-aware, FIFO within priority),
+  restores their checkpointed window accounting over I2O, and splices the
+  send path to the new card.
+
+:class:`repro.server.failover.HAStreamingService` assembles all four into
+a multi-card streaming service.
+"""
+
+from .checkpoint import CHECKPOINT_BYTES, CheckpointMirror
+from .heartbeat import (
+    HEARTBEAT_INTERVAL_US,
+    HEARTBEAT_MSG_ID,
+    HeartbeatEmitter,
+    attach_beat_pump,
+)
+from .migration import FailoverCoordinator, HAExtension
+from .watchdog import Watchdog
+
+__all__ = [
+    "HEARTBEAT_MSG_ID",
+    "HEARTBEAT_INTERVAL_US",
+    "HeartbeatEmitter",
+    "attach_beat_pump",
+    "Watchdog",
+    "CHECKPOINT_BYTES",
+    "CheckpointMirror",
+    "HAExtension",
+    "FailoverCoordinator",
+]

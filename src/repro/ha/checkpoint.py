@@ -1,0 +1,111 @@
+"""Host-memory mirroring of per-stream DWCS state.
+
+The scheduler card is the only place that knows a stream's live window
+position — (x', y'), the next deadline, the violation and loss tallies,
+and the queue's enqueued count that anchors the deadline sequence. If the
+card dies, that state dies with it and a migrated stream would restart
+with fresh windows, silently forgiving every violation the dead card
+accrued. The mirror closes that hole: after every engine epoch (a
+scheduling decision that serviced or dropped packets) the touched streams
+are snapshotted and the snapshot bytes are pushed to host memory.
+
+Cost honesty: snapshots are *captured* synchronously at the epoch (exact
+state, no torn reads) but *committed* only once the mirroring DMA across
+the card's PCI bridge completes — the same posted-write discipline a real
+card would use. Capture coalesces: a stream dirtied five times before the
+DMA pump runs is shipped once. If the card crashes while a batch is
+staged, those bytes never reached host memory, so the mirror keeps the
+previous committed snapshot — migration then restores state that is at
+most one epoch stale, which is the honest recovery point.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.core.dwcs import Decision
+from repro.sim import Environment, Event
+
+__all__ = ["CHECKPOINT_BYTES", "CheckpointMirror"]
+
+#: wire size of one per-stream checkpoint record: (x', y') and the window
+#: tallies as 32-bit words, the deadline/anchor as 64-bit µs counts, the
+#: enqueued count, plus the record header — 64 bytes, one cache line
+CHECKPOINT_BYTES = 64
+
+
+class CheckpointMirror:
+    """Mirrors one scheduler card's per-stream DWCS state to host memory."""
+
+    def __init__(self, env: Environment, runtime) -> None:
+        self.env = env
+        self.runtime = runtime
+        self.scheduler = runtime.scheduler
+        self.bridge = runtime.node.bridge_for(runtime.card.segment)
+        self.dma = runtime.card.dma
+        #: committed snapshots by stream id (what migration restores)
+        self.checkpoints: dict[str, dict] = {}
+        self.epochs_mirrored = 0
+        self.snapshots_taken = 0
+        self.bytes_mirrored = 0
+        #: staged batches discarded because the card died first
+        self.checkpoints_lost = 0
+        self._staged: dict[str, dict] = {}
+        self._wake: Optional[Event] = None
+        runtime.engine.on_epoch = self._on_epoch
+        self._proc = env.process(self._pump(), name=f"ckpt:{runtime.card.name}")
+
+    # -- capture ------------------------------------------------------------
+    def capture(self, stream_id: str) -> None:
+        """Snapshot *stream_id* now and stage it for mirroring.
+
+        Also called once at admission so every stream has a checkpoint
+        from the moment it exists.
+        """
+        self._staged[stream_id] = self.scheduler.export_stream(stream_id)
+        self.snapshots_taken += 1
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed()
+
+    def forget(self, stream_id: str) -> None:
+        """Drop all mirrored state for a stream that left this card."""
+        self._staged.pop(stream_id, None)
+        self.checkpoints.pop(stream_id, None)
+
+    def _on_epoch(self, decision: Decision) -> None:
+        self.epochs_mirrored += 1
+        touched: list[str] = []
+        if decision.serviced is not None:
+            touched.append(decision.serviced.stream_id)
+        for dropped in decision.dropped:
+            if dropped.stream_id not in touched:
+                touched.append(dropped.stream_id)
+        for stream_id in touched:
+            if stream_id in self.scheduler.streams:
+                self.capture(stream_id)
+
+    # -- the mirroring pump -------------------------------------------------
+    def _pump(self) -> Generator:
+        while True:
+            if not self._staged:
+                self._wake = self.env.event(name=f"ckpt.wake:{self.runtime.card.name}")
+                yield self._wake
+                self._wake = None
+            staged, self._staged = self._staged, {}
+            nbytes = CHECKPOINT_BYTES * len(staged)
+            if self.runtime.card.crashed:
+                self.checkpoints_lost += len(staged)
+                continue
+            yield from self.dma.host_transfer(self.bridge, nbytes)
+            if self.runtime.card.crashed:
+                # died mid-transfer: the batch never landed in host memory
+                self.checkpoints_lost += len(staged)
+                continue
+            self.checkpoints.update(staged)
+            self.bytes_mirrored += nbytes
+
+    def __repr__(self) -> str:
+        return (
+            f"<CheckpointMirror {self.runtime.card.name} "
+            f"streams={len(self.checkpoints)} bytes={self.bytes_mirrored}>"
+        )

@@ -1,0 +1,94 @@
+"""NI-side liveness beacons over I2O.
+
+Each scheduler card runs a tiny VxWorks task (``tBeat``) that periodically
+posts a heartbeat frame into the card's I2O *outbound* queue. Heartbeats
+ride the same message path as DVCM replies — same PIO reads on the PCI
+segment, same outbound store — so a partitioned message path starves the
+host of beats exactly as it starves it of replies, while the card itself
+keeps running. A crashed card simply stops beating.
+
+Heartbeats use the reserved message id 0: real request/reply traffic draws
+its ids from ``itertools.count(1)``, so id 0 can never collide with a
+pending call and the host side can pump beats with a filtered get.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.hw.nic import I960RDCard
+from repro.rtos.vxworks import WindScheduler
+from repro.rtos.task import Task
+from repro.sim import Environment
+
+from repro.dvcm.messages import I2OReply, MessageQueuePair
+
+__all__ = [
+    "HEARTBEAT_MSG_ID",
+    "HEARTBEAT_INTERVAL_US",
+    "BEAT_COMPUTE_CYCLES",
+    "HeartbeatEmitter",
+    "attach_beat_pump",
+]
+
+#: reserved I2O message id for heartbeat frames (real msg ids start at 1)
+HEARTBEAT_MSG_ID = 0
+
+#: default beacon period — 4 Hz, far below the DWCS epoch rate, so the
+#: liveness plane costs a rounding error of NI CPU time
+HEARTBEAT_INTERVAL_US = 250_000.0
+
+#: NI CPU cycles to assemble and post one beacon frame
+BEAT_COMPUTE_CYCLES = 120.0
+
+
+class HeartbeatEmitter:
+    """Spawns the ``tBeat`` VxWorks task on one scheduler card."""
+
+    def __init__(
+        self,
+        env: Environment,
+        card: I960RDCard,
+        queues: MessageQueuePair,
+        vxworks: WindScheduler,
+        interval_us: float = HEARTBEAT_INTERVAL_US,
+        priority: int = 50,
+    ) -> None:
+        if interval_us <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        self.env = env
+        self.card = card
+        self.queues = queues
+        self.interval_us = interval_us
+        self.beats_sent = 0
+        vxworks.spawn("tBeat", self._task_body, priority=priority)
+
+    def _task_body(self, task: Task) -> Generator:
+        while True:
+            yield self.env.timeout(self.interval_us)
+            if self.card.crashed:
+                # wedged firmware beats no more — the tick itself keeps
+                # running so a reset card resumes beaconing on schedule
+                continue
+            yield task.compute(self.card.cpu.time_us(BEAT_COMPUTE_CYCLES))
+            if self.card.crashed:
+                continue
+            self.beats_sent += 1
+            yield from self.queues.reply(
+                I2OReply(msg_id=HEARTBEAT_MSG_ID, status="beat", result=self.card.name)
+            )
+
+
+def attach_beat_pump(env: Environment, queues: MessageQueuePair, watchdog) -> None:
+    """Host-side: drain heartbeat frames from *queues* into *watchdog*.
+
+    Filtered on the reserved id, so beats never race the reply scavenging
+    done by :class:`~repro.dvcm.api.VCMInterface` on the same store.
+    """
+
+    def pump() -> Generator:
+        while True:
+            yield queues.outbound.get(filter=lambda r: r.msg_id == HEARTBEAT_MSG_ID)
+            watchdog.record_beat()
+
+    env.process(pump(), name=f"{watchdog.name}.pump")

@@ -1,0 +1,142 @@
+"""Live stream migration off a dead scheduler card.
+
+Two halves:
+
+* :class:`HAExtension` — the NI-side DVCM extension loaded on every
+  scheduler card. Its ``ha.restore_stream`` instruction adopts a migrated
+  stream from its mirrored checkpoint, so the new card continues the old
+  card's window accounting (same (x', y') position, same violation tally,
+  same deadline sequence) instead of opening a fresh stream.
+
+* :class:`FailoverCoordinator` — the host-side brain. When a watchdog
+  declares a card dead it re-admits that card's streams onto survivors:
+
+  - **order**: tighter loss tolerance first (x/y ascending — the streams
+    that can least afford silence move first), FIFO admission order
+    within the same tolerance;
+  - **placement**: capacity-aware — for each stream, the surviving card
+    with the most admission headroom that will take it;
+  - **backpressure**: if no survivor admits the stream at full rate, it
+    is retried at its degraded rendition (anchor frames only — the
+    producer sheds B-frames, cutting the packet rate); if even that is
+    refused, the stream is *parked* rather than violating the windows of
+    streams already admitted;
+  - **restore**: the checkpointed DWCS state travels to the new card as
+    an I2O call with the checkpoint record as bulk payload, then the
+    host splices the stream's send path to the new card.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.core.dwcs import DWCSScheduler
+from repro.dvcm.extension import ExtensionModule
+from repro.metrics.perfmeter import RecoveryMeter
+from repro.sim import Environment
+
+from .checkpoint import CHECKPOINT_BYTES
+
+__all__ = ["HAExtension", "FailoverCoordinator"]
+
+#: fallback packet-rate fraction for degraded re-admission when the
+#: service has no quality ladder for the stream (anchor-frame share of a
+#: typical GOP)
+DEFAULT_DEGRADED_FRACTION = 0.5
+
+
+class HAExtension(ExtensionModule):
+    """NI-side instructions of the HA plane."""
+
+    def __init__(self, scheduler: DWCSScheduler) -> None:
+        super().__init__("ha")
+        self.scheduler = scheduler
+        self.streams_adopted = 0
+        self.provide("restore_stream", self._restore_stream)
+        self.provide("stream_state", self._stream_state)
+
+    def _restore_stream(self, payload: dict[str, Any]) -> str:
+        state = self.scheduler.adopt_stream(payload["snapshot"])
+        self.streams_adopted += 1
+        return state.spec.stream_id
+
+    def _stream_state(self, payload: dict[str, Any]) -> dict[str, Any]:
+        return self.scheduler.streams[payload["stream_id"]].checkpoint()
+
+
+class FailoverCoordinator:
+    """Re-homes a dead card's streams onto the surviving cards."""
+
+    def __init__(self, env: Environment, service, meter: RecoveryMeter) -> None:
+        self.env = env
+        self.service = service
+        self.meter = meter
+        self.migrations = 0
+
+    # -- watchdog callback --------------------------------------------------
+    def card_died(self, runtime) -> None:
+        """Synchronous on_dead hook: stamp detection, start migrating."""
+        self.meter.mark_detected()
+        self.env.process(
+            self._migrate(runtime), name=f"ha.migrate:{runtime.card.name}"
+        )
+
+    # -- the migration process ----------------------------------------------
+    def _migrate(self, dead_runtime) -> Generator:
+        service = self.service
+        victims = [
+            stream_id
+            for stream_id in service.placement_order
+            if service.runtime_of(stream_id) is dead_runtime
+        ]
+        # stable sort: FIFO admission order survives within a tolerance tier
+        victims.sort(key=service.loss_tolerance_of)
+        mirror = service.mirror_of(dead_runtime)
+        for stream_id in victims:
+            snapshot = mirror.checkpoints.get(stream_id)
+            if snapshot is None:
+                # admitted but never successfully mirrored — nothing to
+                # restore from, so the stream parks
+                service.park(stream_id)
+                self.meter.parked.append(stream_id)
+                dead_runtime.admission.release(stream_id)
+                continue
+            spec = snapshot["spec"]
+            full_cost = service.service_time_of(stream_id)
+            target, degraded = None, False
+            for candidate in service.surviving_runtimes(dead_runtime):
+                if candidate.admission.admit(spec, full_cost).admitted:
+                    target = candidate
+                    break
+            if target is None:
+                # overload backpressure, stage 1: shed B-frames — the
+                # packet rate (and so the admission share) drops to the
+                # anchor-frame fraction
+                degraded_cost = full_cost * service.degraded_fraction_of(stream_id)
+                for candidate in service.surviving_runtimes(dead_runtime):
+                    if candidate.admission.admit(spec, degraded_cost).admitted:
+                        target, degraded = candidate, True
+                        break
+            if target is None:
+                # stage 2: refuse — parking one stream beats violating the
+                # windows of every stream already admitted
+                service.park(stream_id)
+                self.meter.parked.append(stream_id)
+                dead_runtime.admission.release(stream_id)
+                continue
+            yield from service.vcm_of(target).call(
+                "ha.restore_stream",
+                {"snapshot": snapshot},
+                bulk_bytes=CHECKPOINT_BYTES,
+            )
+            dead_runtime.admission.release(stream_id)
+            mirror.forget(stream_id)
+            service.splice(stream_id, target, degraded=degraded)
+            self.meter.migrated.append(stream_id)
+            if degraded:
+                self.meter.degraded.append(stream_id)
+            self.migrations += 1
+        # the dead card must rejoin empty: even a later board reset gets no
+        # streams back, so stop its engine for good
+        dead_runtime.engine.stop()
+        self.meter.mark_recovered()

@@ -123,6 +123,19 @@ class I960RDCard:
         for callback in list(self.on_reset):
             callback()
 
+    def status_probe(self):
+        """Process (host side): read the card's status word over PCI.
+
+        One PIO read of the memory-mapped status register; returns True
+        when the firmware is alive. The read always completes — PCI reads
+        of a wedged board return junk, they don't hang — which is what
+        lets a failure detector tell a crashed card (probe reports dead)
+        from a partitioned message path (probe reports alive while
+        heartbeats go missing).
+        """
+        yield from self.segment.pio_read()
+        return not self.crashed
+
     # -- cache policy ---------------------------------------------------------------
     def enable_data_cache(self) -> None:
         """Turn the data cache on — only legal on a disk-less card."""

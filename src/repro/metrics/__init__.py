@@ -3,6 +3,6 @@
 
 from repro.sim import RateEstimator, TallyStats, TimeSeries
 
-from .perfmeter import Perfmeter
+from .perfmeter import Perfmeter, RecoveryMeter
 
-__all__ = ["Perfmeter", "TimeSeries", "TallyStats", "RateEstimator"]
+__all__ = ["Perfmeter", "RecoveryMeter", "TimeSeries", "TallyStats", "RateEstimator"]

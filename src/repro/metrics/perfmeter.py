@@ -4,6 +4,11 @@ Figure 6 plots total CPU utilization over time as the web load ramps; the
 paper measured it with Solaris Perfmeter. :class:`Perfmeter` samples an OS
 kernel's cumulative busy time on a fixed period and records utilization
 percentages into a :class:`~repro.sim.TimeSeries`.
+
+:class:`RecoveryMeter` is the failure-injection counterpart: one place the
+chaos and failover experiments record fault/detection/recovery timestamps
+and migration outcomes, so both report detection latency, MTTR, and
+post-migration violations through the same rows.
 """
 
 from __future__ import annotations
@@ -13,7 +18,7 @@ from typing import Generator, Optional
 from repro.rtos.kernel import OSKernel
 from repro.sim import Environment, TimeSeries
 
-__all__ = ["Perfmeter"]
+__all__ = ["Perfmeter", "RecoveryMeter"]
 
 
 class Perfmeter:
@@ -52,3 +57,88 @@ class Perfmeter:
 
     def peak(self) -> float:
         return self.series.maximum()
+
+
+class RecoveryMeter:
+    """Recovery bookkeeping for one failure-injection run.
+
+    The HA plane stamps the milestones (:meth:`mark_fault`,
+    :meth:`mark_detected`, :meth:`mark_recovered`) and records each
+    migrated/degraded/parked stream; the experiment layer reads the derived
+    **detection latency** (fault → declared dead) and **MTTR** (fault →
+    last stream restored) plus the violation tally split at the fault
+    instant, so chaos and failover runs report the same row set.
+    """
+
+    def __init__(self, env: Environment, name: str = "recovery") -> None:
+        self.env = env
+        self.name = name
+        self.fault_at_us: Optional[float] = None
+        self.detected_at_us: Optional[float] = None
+        self.recovered_at_us: Optional[float] = None
+        #: stream ids in migration order (determinism checks compare these)
+        self.migrated: list[str] = []
+        #: streams re-admitted at a degraded rendition (B-frames shed)
+        self.degraded: list[str] = []
+        #: streams no surviving card could take (admission refused)
+        self.parked: list[str] = []
+        #: scheduler violations at the fault instant (split point)
+        self.violations_at_fault: int = 0
+        #: watchdog suspicion → partition classifications observed
+        self.partitions: int = 0
+
+    # -- milestones ---------------------------------------------------------
+    def mark_fault(self, violations_so_far: int = 0) -> None:
+        if self.fault_at_us is None:
+            self.fault_at_us = self.env.now
+            self.violations_at_fault = violations_so_far
+
+    def mark_detected(self) -> None:
+        if self.detected_at_us is None:
+            self.detected_at_us = self.env.now
+
+    def mark_recovered(self) -> None:
+        self.recovered_at_us = self.env.now
+
+    def mark_partition(self) -> None:
+        self.partitions += 1
+
+    # -- derived metrics ----------------------------------------------------
+    @property
+    def detection_latency_us(self) -> Optional[float]:
+        if self.fault_at_us is None or self.detected_at_us is None:
+            return None
+        return self.detected_at_us - self.fault_at_us
+
+    @property
+    def mttr_us(self) -> Optional[float]:
+        if self.fault_at_us is None or self.recovered_at_us is None:
+            return None
+        return self.recovered_at_us - self.fault_at_us
+
+    def post_fault_violations(self, violations_total: int) -> int:
+        return violations_total - self.violations_at_fault
+
+    def rows(self, violations_total: int) -> list[tuple[str, float, str, str]]:
+        """Uniform (label, value, unit, note) rows for experiment reports.
+
+        Absent milestones render as -1 (fault never injected / never
+        detected / never recovered), keeping the row set fixed so two runs
+        are comparable line by line.
+        """
+        det = self.detection_latency_us
+        mttr = self.mttr_us
+        return [
+            ("detection latency", -1.0 if det is None else det / 1000.0, "ms", ""),
+            ("time to recovery (MTTR)", -1.0 if mttr is None else mttr / 1000.0, "ms", ""),
+            ("streams migrated", float(len(self.migrated)), "",
+             ",".join(self.migrated)),
+            ("streams degraded", float(len(self.degraded)), "",
+             ",".join(self.degraded)),
+            ("streams parked", float(len(self.parked)), "",
+             ",".join(self.parked)),
+            ("post-fault violations",
+             float(self.post_fault_violations(violations_total))
+             if self.fault_at_us is not None else 0.0, "", ""),
+            ("partitions classified", float(self.partitions), "", ""),
+        ]

@@ -6,6 +6,11 @@ board-resident protocols (like TCP and UDP)"). :class:`UDPStack` is one
 endpoint's protocol instance: it multiplexes numbered ports over a single
 Ethernet attachment, charges the endpoint's per-packet stack cost, and —
 being UDP — silently loses whatever the network loses.
+
+The send path consults the environment's fault plane (``udp-drop`` /
+``udp-dup`` windows keyed by the stack name): a dropped datagram pays its
+stack cost and then vanishes before reaching the wire, a duplicated one is
+framed and transmitted twice.
 """
 
 from __future__ import annotations
@@ -53,6 +58,8 @@ class UDPStack:
         self.datagrams_sent = 0
         self.datagrams_received = 0
         self.no_socket_drops = 0
+        self.datagrams_dropped = 0
+        self.datagrams_duplicated = 0
         env.process(self._demux(), name=f"{self.name}.demux")
 
     # -- socket API ----------------------------------------------------------
@@ -81,6 +88,10 @@ class UDPStack:
         if payload_bytes <= 0:
             raise ValueError("payload must be positive")
         yield self.env.timeout(self.stack.cost_us(payload_bytes))
+        plane = getattr(self.env, "fault_plane", None)
+        if plane is not None and plane.datagram_dropped(self.name):
+            self.datagrams_dropped += 1
+            return
         dgram = Datagram(
             src_host=self.eth_port.name,
             src_port=src_port,
@@ -96,6 +107,14 @@ class UDPStack:
         )
         self.datagrams_sent += 1
         yield from self.eth_port.send(frame, dest_host)
+        if plane is not None and plane.datagram_duplicated(self.name):
+            self.datagrams_duplicated += 1
+            dup = NetFrame(
+                payload_bytes=payload_bytes + UDP_HEADER_BYTES,
+                stream_id=f"udp:{dest_port}",
+                meta=dgram,
+            )
+            yield from self.eth_port.send(dup, dest_host)
 
     # -- receive path ---------------------------------------------------------
     def _demux(self) -> Generator:

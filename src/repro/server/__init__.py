@@ -1,7 +1,9 @@
 """Server architectures: compute nodes, the Figure-3 frame-transfer paths,
-host- and NI-based streaming service assemblies, and the cluster topology."""
+host- and NI-based streaming service assemblies, the HA multi-card service,
+and the cluster topology."""
 
 from .cluster import Cluster
+from .failover import HA_HEARTBEAT_INTERVAL_US, HAStreamingService
 from .node import DiskController, ServerNode
 from .paths import (
     deliver_to_client,
@@ -9,7 +11,12 @@ from .paths import (
     path_b_transfer,
     path_c_transfer,
 )
-from .streaming import HOST_DWCS_COSTS, HostStreamingService, NIStreamingService
+from .streaming import (
+    HOST_DWCS_COSTS,
+    HostStreamingService,
+    NIStreamingService,
+    SchedulerCardRuntime,
+)
 
 __all__ = [
     "ServerNode",
@@ -21,5 +28,8 @@ __all__ = [
     "deliver_to_client",
     "HostStreamingService",
     "NIStreamingService",
+    "SchedulerCardRuntime",
+    "HAStreamingService",
+    "HA_HEARTBEAT_INTERVAL_US",
     "HOST_DWCS_COSTS",
 ]

@@ -48,9 +48,19 @@ class Cluster:
             self.san.attach(card.eth_ports[1])
             self.nodes.append(node)
             self.san_cards.append(card)
+        #: frames that reached a SAN card after it crashed (lost at the NI)
+        self.frames_lost_to_crash = 0
 
     def __len__(self) -> int:
         return len(self.nodes)
+
+    def probe_node(self, node_idx: int) -> Generator[Event, None, bool]:
+        """Process: PCI status probe of a node's SAN card (see
+        :meth:`repro.hw.nic.I960RDCard.status_probe`) — the cluster-level
+        health sweep a failure detector runs before declaring a node's NI
+        dead rather than partitioned."""
+        alive = yield from self.san_cards[node_idx].status_probe()
+        return alive
 
     def san_port_name(self, node_idx: int) -> str:
         return self.san_cards[node_idx].eth_ports[1].name
@@ -73,10 +83,20 @@ class Cluster:
             raise ValueError("source and destination nodes must differ")
         env = self.env
         src, dst = self.san_cards[src_idx], self.san_cards[dst_idx]
+        if src.crashed:
+            # fail fast, like the host-side VCMPeerDown path: a wedged
+            # source card cannot encapsulate, so don't charge wire time
+            raise RuntimeError(f"{src.name}: source SAN card is down")
         start = env.now
         yield env.timeout(src.stack.cost_us(nbytes))  # NI-side encapsulation
         frame = NetFrame(payload_bytes=nbytes, stream_id=stream_id, seqno=seqno)
         yield from src.eth_ports[1].send(frame, self.san_port_name(dst_idx))
+        if dst.crashed:
+            # the wire delivered, the dead card didn't: frame lost at the
+            # NI (drain the inbox so the port doesn't wedge)
+            yield dst.eth_ports[1].receive()
+            self.frames_lost_to_crash += 1
+            return env.now - start
         yield env.timeout(dst.stack.cost_us(nbytes))  # NI-side decapsulation
         # drain the destination inbox (delivery complete)
         yield dst.eth_ports[1].receive()

@@ -1,0 +1,326 @@
+"""The multi-card HA streaming service.
+
+Composes N :class:`~repro.server.streaming.SchedulerCardRuntime` instances
+(one dedicated i960 scheduler card each) and wires the full HA plane onto
+every card:
+
+* an I2O :class:`~repro.dvcm.messages.MessageQueuePair` + NI-side
+  :class:`~repro.dvcm.runtime.VCMRuntime` with the
+  :class:`~repro.ha.migration.HAExtension` loaded (``tVCM`` task);
+* a :class:`~repro.ha.heartbeat.HeartbeatEmitter` (``tBeat`` task) and the
+  host-side beat pump;
+* a :class:`~repro.ha.watchdog.Watchdog` per card, its ``on_dead`` wired to
+  the shared :class:`~repro.ha.migration.FailoverCoordinator`;
+* a :class:`~repro.ha.checkpoint.CheckpointMirror` mirroring per-stream
+  DWCS state to host memory on every engine epoch;
+* a per-card :class:`~repro.core.admission.AdmissionController` — each
+  card's utilization ledger is its own, which is what makes placement and
+  failover capacity-aware.
+
+Placement at ``open_stream`` picks the live card with the most admission
+headroom (ties break to the lowest card index). Producers route each frame
+through :meth:`HAStreamingService._route`, which follows the stream to its
+current card — the splice point for live migration. Post-failover overload
+sheds B-frames of degraded streams before it violates anyone's window.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.core.admission import AdmissionController
+from repro.core.attributes import StreamSpec
+from repro.core.costs import DWCSCostModel
+from repro.dvcm.api import VCMInterface
+from repro.dvcm.messages import MessageQueuePair
+from repro.dvcm.runtime import VCMRuntime
+from repro.ha import (
+    CheckpointMirror,
+    FailoverCoordinator,
+    HAExtension,
+    HeartbeatEmitter,
+    Watchdog,
+    attach_beat_pump,
+)
+from repro.ha.migration import DEFAULT_DEGRADED_FRACTION
+from repro.hw.ethernet import EthernetSwitch
+from repro.media.frames import FrameType, MediaFrame
+from repro.media.mpeg import MPEGFile
+from repro.media.adaptation import quality_ladder
+from repro.metrics.perfmeter import RecoveryMeter
+from repro.sim import Environment
+
+from .node import ServerNode
+from .streaming import SchedulerCardRuntime, _BaseService
+
+__all__ = ["HAStreamingService", "HA_HEARTBEAT_INTERVAL_US"]
+
+#: default beacon period for the service's watchdog plane
+HA_HEARTBEAT_INTERVAL_US = 250_000.0
+
+#: producer poll period while a stream is mid-migration (no card serves it)
+ROUTE_POLL_US = 10_000.0
+
+
+class _CardPlane:
+    """The HA attachments of one scheduler card."""
+
+    def __init__(
+        self,
+        env: Environment,
+        runtime: SchedulerCardRuntime,
+        heartbeat_interval_us: float,
+        k_missed: int,
+    ) -> None:
+        card = runtime.card
+        self.runtime = runtime
+        self.mq = MessageQueuePair(env, card.segment, name=f"{card.name}.mq")
+        self.vcm_runtime = VCMRuntime(
+            env, self.mq, card.cpu, name=f"{card.name}.vcm", card=card
+        )
+        self.vcm_runtime.load_extension(HAExtension(runtime.scheduler))
+        runtime.vxworks.spawn("tVCM", self.vcm_runtime.task_body, priority=60)
+        self.emitter = HeartbeatEmitter(
+            env, card, self.mq, runtime.vxworks, interval_us=heartbeat_interval_us
+        )
+        self.vcm = VCMInterface(env, self.mq, name=f"host:{card.name}", card=card)
+        self.mirror = CheckpointMirror(env, runtime)
+        self.watchdog = Watchdog(
+            env, card, interval_us=heartbeat_interval_us, k_missed=k_missed
+        )
+        attach_beat_pump(env, self.mq, self.watchdog)
+
+
+class HAStreamingService(_BaseService):
+    """N scheduler cards, heartbeat-supervised, with live failover."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node: ServerNode,
+        switch: EthernetSwitch,
+        n_cards: int = 2,
+        scheduler_segment: int = 0,
+        costs: Optional[DWCSCostModel] = None,
+        utilization_bound: float = 0.85,
+        heartbeat_interval_us: float = HA_HEARTBEAT_INTERVAL_US,
+        k_missed: int = 3,
+    ) -> None:
+        if n_cards < 2:
+            raise ValueError("an HA service needs at least two scheduler cards")
+        super().__init__(env, switch, admission=None)
+        self.node = node
+        self.meter = RecoveryMeter(env)
+        self.coordinator = FailoverCoordinator(env, self, self.meter)
+        self.runtimes: list[SchedulerCardRuntime] = []
+        self.planes: list[_CardPlane] = []
+        for _ in range(n_cards):
+            runtime = SchedulerCardRuntime(
+                env,
+                node,
+                switch,
+                segment=scheduler_segment,
+                costs=costs,
+                admission=AdmissionController(utilization_bound=utilization_bound),
+                dest_of_stream=self._dest_of_stream,
+            )
+            plane = _CardPlane(env, runtime, heartbeat_interval_us, k_missed)
+            plane.watchdog.on_dead.append(
+                lambda rt=runtime: self.coordinator.card_died(rt)
+            )
+            plane.watchdog.on_partition.append(self._on_partition)
+            runtime.card.on_crash.append(self._on_any_crash)
+            self.runtimes.append(runtime)
+            self.planes.append(plane)
+        self._plane_of = {id(rt): plane for rt, plane in zip(self.runtimes, self.planes)}
+        #: stream id -> runtime currently serving it (the splice point)
+        self._runtime_of: dict[str, SchedulerCardRuntime] = {}
+        self._spec_of: dict[str, StreamSpec] = {}
+        self._service_time_of: dict[str, float] = {}
+        self._degraded_fraction: dict[str, float] = {}
+        #: stream ids in admission order (FIFO tiebreak for migration)
+        self.placement_order: list[str] = []
+        self.degraded_streams: set[str] = set()
+        self.parked_streams: set[str] = set()
+        self.b_frames_shed = 0
+        self.frames_lost_in_migration = 0
+
+    # -- HA plumbing ---------------------------------------------------------
+    def _on_any_crash(self) -> None:
+        self.meter.mark_fault(self.total_violations)
+
+    def _on_partition(self) -> None:
+        self.meter.mark_partition()
+        self.meter.mark_detected()
+
+    @property
+    def detection_budget_us(self) -> float:
+        """Worst-case silence before a dead card is declared."""
+        watchdog = self.planes[0].watchdog
+        return watchdog.k_missed * watchdog.interval_us + watchdog.grace_us
+
+    @property
+    def total_violations(self) -> int:
+        return sum(rt.scheduler.stats.violations for rt in self.runtimes)
+
+    @property
+    def frames_lost_to_crash(self) -> int:
+        return sum(rt.frames_lost_to_crash for rt in self.runtimes)
+
+    # -- coordinator accessors ----------------------------------------------
+    def runtime_of(self, stream_id: str) -> Optional[SchedulerCardRuntime]:
+        return self._runtime_of.get(stream_id)
+
+    def mirror_of(self, runtime: SchedulerCardRuntime) -> CheckpointMirror:
+        return self._plane_of[id(runtime)].mirror
+
+    def vcm_of(self, runtime: SchedulerCardRuntime) -> VCMInterface:
+        return self._plane_of[id(runtime)].vcm
+
+    def loss_tolerance_of(self, stream_id: str) -> float:
+        spec = self._spec_of[stream_id]
+        return spec.loss_x / spec.loss_y if spec.loss_y else 0.0
+
+    def service_time_of(self, stream_id: str) -> float:
+        return self._service_time_of[stream_id]
+
+    def degraded_fraction_of(self, stream_id: str) -> float:
+        return self._degraded_fraction.get(stream_id, DEFAULT_DEGRADED_FRACTION)
+
+    def surviving_runtimes(
+        self, dead_runtime: SchedulerCardRuntime
+    ) -> list[SchedulerCardRuntime]:
+        """Live cards, most admission headroom first (index breaks ties)."""
+        candidates = [
+            (-rt.admission.headroom(), index, rt)
+            for index, rt in enumerate(self.runtimes)
+            if rt is not dead_runtime and not rt.card.crashed
+        ]
+        candidates.sort(key=lambda entry: (entry[0], entry[1]))
+        return [rt for _, _, rt in candidates]
+
+    def splice(
+        self, stream_id: str, runtime: SchedulerCardRuntime, degraded: bool = False
+    ) -> None:
+        """Re-route the stream's send path to *runtime*'s card."""
+        self._runtime_of[stream_id] = runtime
+        if degraded:
+            self.degraded_streams.add(stream_id)
+        # first checkpoint on the new home
+        self.mirror_of(runtime).capture(stream_id)
+
+    def park(self, stream_id: str) -> None:
+        self.parked_streams.add(stream_id)
+        self._runtime_of.pop(stream_id, None)
+
+    # -- stream setup --------------------------------------------------------
+    def open_stream(
+        self,
+        spec: StreamSpec,
+        client_name: str,
+        service_time_us: Optional[float] = None,
+    ) -> None:
+        if client_name not in self.clients:
+            raise KeyError(f"no client {client_name!r} attached")
+        if service_time_us is None:
+            raise ValueError("the HA service is admission-controlled: pass service_time_us")
+        runtime = self._place(spec, service_time_us)
+        if runtime is None:
+            raise RuntimeError("admission refused: no scheduler card has headroom")
+        runtime.scheduler.add_stream(spec)
+        self._dest_of_stream[spec.stream_id] = client_name
+        self._runtime_of[spec.stream_id] = runtime
+        self._spec_of[spec.stream_id] = spec
+        self._service_time_of[spec.stream_id] = service_time_us
+        self.placement_order.append(spec.stream_id)
+        # initial checkpoint: every admitted stream is restorable from t=0
+        self.mirror_of(runtime).capture(spec.stream_id)
+
+    def _place(
+        self, spec: StreamSpec, service_time_us: float
+    ) -> Optional[SchedulerCardRuntime]:
+        order = sorted(
+            range(len(self.runtimes)),
+            key=lambda index: (-self.runtimes[index].admission.headroom(), index),
+        )
+        for index in order:
+            runtime = self.runtimes[index]
+            if runtime.card.crashed:
+                continue
+            if runtime.admission.admit(spec, service_time_us).admitted:
+                return runtime
+        return None
+
+    # -- the producer path ---------------------------------------------------
+    def start_producer(
+        self,
+        file: MPEGFile,
+        inject_gap_us: float = 1_000.0,
+        prebuffer_frames: int = 0,
+    ) -> None:
+        """Disk-attached peer-card producer that follows its stream.
+
+        Identical to the single-card path-B producer except each frame is
+        routed to the stream's *current* card — after a migration the peer
+        DMA lands in the new card's memory without the producer noticing
+        more than a short stall.
+        """
+        producer_card = self.node.add_i960_card(segment=0)
+        fs = producer_card.attach_disk()
+        fs_file = fs.open(file.name, size_bytes=max(1, file.size_bytes))
+        stream_id = file.frames[0].stream_id if file.frames else None
+        if stream_id is not None and file.frames:
+            ladder = quality_ladder(file)
+            anchors = next((r for r in ladder if r.name == "anchors"), None)
+            if anchors is not None:
+                self._degraded_fraction[stream_id] = len(anchors.frames) / len(file.frames)
+
+        def producer() -> Generator:
+            for i, frame in enumerate(file.frames):
+                got = yield from self._read_with_retry(fs_file, frame.size_bytes)
+                if got == 0:
+                    continue  # unreadable after retries: skip the frame
+                if (
+                    frame.stream_id in self.degraded_streams
+                    and frame.ftype is FrameType.B
+                ):
+                    # post-failover media adaptation: a degraded stream
+                    # sends anchor frames only
+                    self.b_frames_shed += 1
+                    continue
+                runtime = yield from self._route(frame.stream_id)
+                if runtime is None:
+                    return  # parked: the producer retires
+                yield from runtime._reserve_frame_memory(frame)
+                yield from producer_card.dma.peer_transfer(frame.size_bytes)
+                yield from self._submit(runtime, frame)
+                if i >= prebuffer_frames:
+                    yield self.env.timeout(inject_gap_us)
+
+        self.env.process(producer(), name=f"producer:{file.name}")
+
+    def _route(self, stream_id: str) -> Generator:
+        """Process: the runtime currently serving *stream_id*; stalls while
+        the stream is between cards (migration in flight)."""
+        while True:
+            if stream_id in self.parked_streams:
+                return None
+            runtime = self._runtime_of.get(stream_id)
+            if (
+                runtime is not None
+                and not runtime.card.crashed
+                and stream_id in runtime.scheduler.streams
+            ):
+                return runtime
+            yield self.env.timeout(ROUTE_POLL_US)
+
+    def _submit(self, runtime: SchedulerCardRuntime, frame: MediaFrame) -> Generator:
+        queue = runtime.scheduler.queues[frame.stream_id]
+        while queue.full and not runtime.card.crashed:
+            yield self.env.timeout(ROUTE_POLL_US)
+        if runtime.card.crashed:
+            # the card died between routing and submission; the frame body
+            # is already lost with the card's memory
+            self.frames_lost_in_migration += 1
+            return
+        runtime.engine.submit(frame)

@@ -41,7 +41,12 @@ from repro.sim import Environment, Store
 
 from .node import ServerNode
 
-__all__ = ["HOST_DWCS_COSTS", "HostStreamingService", "NIStreamingService"]
+__all__ = [
+    "HOST_DWCS_COSTS",
+    "HostStreamingService",
+    "NIStreamingService",
+    "SchedulerCardRuntime",
+]
 
 #: Cost model of the *host* DWCS build — the System-V-shared-memory,
 #: process-based implementation of the prior papers. Its constants are
@@ -165,24 +170,36 @@ class _BaseService:
         return 0
 
 
-class NIStreamingService(_BaseService):
-    """DWCS on a dedicated i960 RD scheduler card under VxWorks."""
+class SchedulerCardRuntime:
+    """One dedicated i960 scheduler card's complete runtime.
+
+    Everything that lives and dies with one card: the VxWorks instance and
+    its system tasks, the DWCS scheduler + engine (tDWCS), the transmit
+    queue drained by tNetTask onto the card's Ethernet port, the
+    single-copy frame memory, and the crash/reset shedding hooks.
+
+    :class:`NIStreamingService` wraps exactly one (the Figure-9
+    configuration, construction order preserved bit-for-bit); the HA
+    service in :mod:`repro.server.failover` composes several and migrates
+    streams between them on card death.
+    """
 
     def __init__(
         self,
         env: Environment,
         node: ServerNode,
         switch: EthernetSwitch,
-        scheduler_segment: int = 0,
+        segment: int = 0,
         ctx: Optional[ArithmeticContext] = None,
         costs: Optional[DWCSCostModel] = None,
         enable_cache: bool = True,
         admission: Optional[AdmissionController] = None,
+        dest_of_stream: Optional[dict[str, str]] = None,
     ) -> None:
-        super().__init__(env, switch, admission=admission)
+        self.env = env
         self.node = node
         #: the dedicated scheduler NI: no disks, so the cache may be enabled
-        self.card = node.add_i960_card(segment=scheduler_segment)
+        self.card = node.add_i960_card(segment=segment)
         if enable_cache:
             self.card.enable_data_cache()
         switch.attach(self.card.eth_ports[0])
@@ -211,6 +228,11 @@ class NIStreamingService(_BaseService):
         self.card.on_crash.append(self._on_card_crash)
         self.card.on_reset.append(self._on_card_reset)
         self.frames_lost_to_crash = 0
+        #: this card's share ledger (per-card in multi-card services)
+        self.admission = admission
+        #: stream -> client-port routing; shared with the owning service so
+        #: migrated streams keep their destination
+        self._dest_of_stream = dest_of_stream if dest_of_stream is not None else {}
 
     # -- failure handling -----------------------------------------------------
     def _on_card_crash(self) -> None:
@@ -284,6 +306,45 @@ class NIStreamingService(_BaseService):
             if alloc is not None:
                 alloc.free()
 
+
+class NIStreamingService(_BaseService):
+    """DWCS on a dedicated i960 RD scheduler card under VxWorks."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node: ServerNode,
+        switch: EthernetSwitch,
+        scheduler_segment: int = 0,
+        ctx: Optional[ArithmeticContext] = None,
+        costs: Optional[DWCSCostModel] = None,
+        enable_cache: bool = True,
+        admission: Optional[AdmissionController] = None,
+    ) -> None:
+        super().__init__(env, switch, admission=admission)
+        self.node = node
+        self.runtime = SchedulerCardRuntime(
+            env,
+            node,
+            switch,
+            segment=scheduler_segment,
+            ctx=ctx,
+            costs=costs,
+            enable_cache=enable_cache,
+            admission=admission,
+            dest_of_stream=self._dest_of_stream,
+        )
+        # the runtime's parts under their historical names
+        self.card = self.runtime.card
+        self.vxworks = self.runtime.vxworks
+        self.scheduler = self.runtime.scheduler
+        self.engine = self.runtime.engine
+        self._txq = self.runtime._txq
+
+    @property
+    def frames_lost_to_crash(self) -> int:
+        return self.runtime.frames_lost_to_crash
+
     def start_producer(
         self,
         file: MPEGFile,
@@ -301,7 +362,7 @@ class NIStreamingService(_BaseService):
                 got = yield from self._read_with_retry(fs_file, frame.size_bytes)
                 if got == 0:
                     continue  # unreadable after retries: skip the frame
-                yield from self._reserve_frame_memory(frame)
+                yield from self.runtime._reserve_frame_memory(frame)
                 yield from producer_card.dma.peer_transfer(frame.size_bytes)
                 yield from self._submit_with_backpressure(frame)
                 if i >= prebuffer_frames:

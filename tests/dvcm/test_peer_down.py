@@ -1,0 +1,202 @@
+"""VCMPeerDown: typed fail-fast when the peer card or node is gone."""
+
+import pytest
+
+from repro.dvcm import (
+    DVCMNode,
+    ExtensionModule,
+    MessageQueuePair,
+    RemoteVCM,
+    VCMInterface,
+    VCMPeerDown,
+    VCMRuntime,
+    VCMTimeout,
+)
+from repro.faults import FaultPlane
+from repro.hw import EthernetSwitch, I960RDCard, PCISegment
+from repro.rtos import WindScheduler
+from repro.server import ServerNode
+from repro.sim import Environment, S
+
+
+def echo_module():
+    mod = ExtensionModule("echo")
+    mod.provide("ping", lambda payload: payload.get("value"))
+    return mod
+
+
+def card_rig(env):
+    node = ServerNode(env, n_cpus=1)
+    card = node.add_i960_card(segment=0)
+    queues = MessageQueuePair(env, card.segment, name=card.name)
+    runtime = VCMRuntime(env, queues, card.cpu, card=card)
+    runtime.load_extension(echo_module())
+    rtos = WindScheduler(env)
+    rtos.spawn("tVCM", runtime.task_body, priority=60)
+    return card, queues, runtime
+
+
+class TestLocalCardPeerDown:
+    def test_call_fails_fast_when_the_card_is_down(self):
+        env = Environment()
+        card, queues, _runtime = card_rig(env)
+        api = VCMInterface(env, queues, card=card)
+        card.crash()
+        errors = []
+
+        def caller():
+            try:
+                yield from api.call("echo.ping", {"value": 1})
+            except VCMPeerDown as err:
+                errors.append((env.now, err))
+
+        env.process(caller())
+        env.run(until=10_000_000)
+        assert len(errors) == 1
+        at, err = errors[0]
+        assert at == 0.0  # fail-fast: no retry/backoff burned
+        assert card.name in str(err)
+        assert api.peer_down_errors == 1
+        assert api.retries == 0
+
+    def test_crash_mid_call_raises_peer_down_not_timeout(self):
+        env = Environment()
+        card, queues, _runtime = card_rig(env)
+        api = VCMInterface(env, queues, timeout_us=50_000.0, max_retries=2, card=card)
+        outcome = []
+
+        def caller():
+            try:
+                yield from api.call("echo.ping", {"value": 1}, timeout_us=50_000.0)
+            except VCMPeerDown:
+                outcome.append("peer-down")
+            except VCMTimeout:
+                outcome.append("timeout")
+
+        # crash after the first post but before any reply can land: the
+        # retry loop must convert to the typed peer-down error
+        env.schedule_callback(1.0, card.crash)
+        env.process(caller())
+        env.run(until=10_000_000)
+        assert outcome == ["peer-down"]
+
+    def test_without_card_binding_the_generic_timeout_remains(self):
+        env = Environment()
+        card, queues, _runtime = card_rig(env)
+        api = VCMInterface(env, queues, timeout_us=50_000.0, max_retries=1)
+        outcome = []
+
+        def caller():
+            try:
+                yield from api.call("echo.ping", {"value": 1})
+            except VCMTimeout:
+                outcome.append("timeout")
+
+        card.crash()
+        env.process(caller())
+        env.run(until=10_000_000)
+        assert outcome == ["timeout"]
+
+    def test_healthy_card_calls_still_roundtrip(self):
+        env = Environment()
+        card, queues, _runtime = card_rig(env)
+        api = VCMInterface(env, queues, card=card)
+        got = []
+
+        def caller():
+            result = yield from api.call("echo.ping", {"value": 42})
+            got.append(result)
+
+        env.process(caller())
+        env.run(until=10_000_000)
+        assert got == [42]
+        assert api.peer_down_errors == 0
+
+    def test_peer_down_is_a_vcm_error_subtype(self):
+        from repro.dvcm.api import VCMError
+
+        assert issubclass(VCMPeerDown, VCMError)
+        assert not issubclass(VCMPeerDown, VCMTimeout)
+
+
+def counter_extension():
+    mod = ExtensionModule("ctr")
+    state = {"n": 0}
+
+    def bump(payload):
+        state["n"] += payload.get("by", 1)
+        return state["n"]
+
+    mod.provide("bump", bump)
+    return mod
+
+
+def san_rig(env):
+    """Two SAN nodes: node 0 serves the counter, node 1 calls it."""
+    san = EthernetSwitch(env, name="san")
+    nodes = []
+    for idx in range(2):
+        segment = PCISegment(env, f"n{idx}.pci")
+        card = I960RDCard(env, segment, name=f"n{idx}.i2o")
+        san.attach(card.eth_ports[1])
+        vxworks = WindScheduler(env, cpu_spec=card.cpu.spec, name=f"n{idx}.vx")
+        queues = MessageQueuePair(env, segment, name=f"n{idx}.q")
+        runtime = VCMRuntime(env, queues, card.cpu, name=f"n{idx}.vcm")
+        vxworks.spawn("tVCM", runtime.task_body, priority=60)
+        node = DVCMNode(env, runtime, card.eth_ports[1], card.stack)
+        nodes.append((card, runtime, node))
+    nodes[0][1].load_extension(counter_extension())
+    caller = RemoteVCM(env, nodes[1][0].eth_ports[1], nodes[1][0].stack)
+    return nodes, caller
+
+
+class TestRemotePeerDown:
+    def test_partitioned_peer_fails_the_dial_with_peer_down(self):
+        env = Environment()
+        nodes, caller = san_rig(env)
+        server_port = nodes[0][2].san_address
+        plane = FaultPlane(env, seed=3)
+        plane.inject_partition(server_port, 0.0, 600 * S)
+        outcome = []
+
+        def app():
+            try:
+                yield from caller.call(server_port, "ctr.bump")
+            except VCMPeerDown:
+                outcome.append(env.now)
+
+        env.process(app())
+        env.run(until=600 * S)
+        assert len(outcome) == 1
+        assert caller.peer_down_errors == 1
+
+    def test_partition_mid_call_aborts_then_recovery_redials(self):
+        env = Environment()
+        nodes, caller = san_rig(env)
+        server_port = nodes[0][2].san_address
+        plane = FaultPlane(env, seed=3)
+        # cut the server's SAN port after the first call completes; the
+        # window is long enough for go-back-N to exhaust its retry budget
+        plane.inject_partition(server_port, 2 * S, 400 * S)
+        log = []
+
+        def app():
+            got = yield from caller.call(server_port, "ctr.bump")
+            log.append(("ok", got))
+            yield env.timeout(3 * S)  # now inside the partition window
+            try:
+                yield from caller.call(server_port, "ctr.bump")
+            except VCMPeerDown:
+                log.append(("down", env.now))
+            # wait out the partition: the broken connection was discarded,
+            # so the next call re-dials and the peer serves again
+            while env.now < 401 * S:
+                yield env.timeout(1 * S)
+            got = yield from caller.call(server_port, "ctr.bump")
+            log.append(("ok", got))
+
+        env.process(app())
+        env.run(until=500 * S)
+        assert [tag for tag, _ in log] == ["ok", "down", "ok"]
+        assert log[0][1] == 1 and log[2][1] == 2  # the aborted bump never ran
+        assert caller.peer_down_errors == 1

@@ -1,0 +1,82 @@
+"""The failover experiment: determinism, detection budget, migration."""
+
+from repro.experiments import run_loading_experiment
+from repro.experiments.failover import failover, run_failover_scenario
+from repro.faults import FAILOVER_SCENARIOS
+from repro.sim import S
+
+SHORT_US = 10 * S
+
+
+class TestScenarioCatalogue:
+    def test_campaigns_cover_crash_partition_and_flap(self):
+        names = set(FAILOVER_SCENARIOS)
+        assert {"baseline", "card-crash", "hb-partition", "card-flap"} <= names
+
+    def test_scenarios_are_well_formed(self):
+        for name, sc in FAILOVER_SCENARIOS.items():
+            assert sc.name == name
+            assert sc.description
+            assert 0.0 <= sc.start_frac <= sc.end_frac <= 1.0
+
+
+class TestDeterminism:
+    def test_same_seed_replays_identical_failover(self):
+        a = run_failover_scenario("card-crash", duration_us=SHORT_US, seed=7)
+        b = run_failover_scenario("card-crash", duration_us=SHORT_US, seed=7)
+        # identical migration order, detection time, and violation counts
+        assert a.meter.migrated == b.meter.migrated
+        assert a.meter.detected_at_us == b.meter.detected_at_us
+        assert a.meter.recovered_at_us == b.meter.recovered_at_us
+        assert a.violations == b.violations
+        assert a.injected == b.injected
+        for sid in ("s1", "s2"):
+            assert a.delivered_bps(sid, 0.0, 1.0) == b.delivered_bps(sid, 0.0, 1.0)
+
+    def test_rendered_result_is_byte_identical_across_runs(self):
+        kw = dict(duration_us=SHORT_US, seed=5, scenarios=["baseline", "card-crash"])
+        assert failover(**kw).render() == failover(**kw).render()
+
+
+class TestControlBaseline:
+    def test_control_is_the_plain_figure9_run(self):
+        result = failover(duration_us=SHORT_US, seed=7, scenarios=["baseline"])
+        plain = run_loading_experiment("ni", "none", duration_us=SHORT_US, seed=7)
+        rows = {r.label: r.measured for r in result.rows}
+        for sid in ("s1", "s2"):
+            assert rows[f"control: {sid} settled bandwidth"] == plain.settled_bandwidth(sid)
+
+    def test_ha_baseline_draws_no_faults(self):
+        fr = run_failover_scenario("baseline", duration_us=SHORT_US, seed=7)
+        assert fr.injected == 0
+        assert fr.meter.fault_at_us is None
+        assert fr.meter.migrated == []
+        assert all(p.watchdog.state == "alive" for p in fr.service.planes)
+
+
+class TestCardCrashCampaign:
+    def test_detection_within_budget_and_all_streams_migrate(self):
+        fr = run_failover_scenario("card-crash", duration_us=SHORT_US, seed=7)
+        service, meter = fr.service, fr.meter
+        assert service.planes[0].watchdog.state == "dead"
+        assert meter.detection_latency_us is not None
+        assert meter.detection_latency_us <= service.detection_budget_us
+        # every stream checkpointed on the dead card was migrated
+        assert meter.migrated == ["s1"]
+        assert meter.parked == []
+        assert service.runtime_of("s1") is service.runtimes[1]
+        # delivery resumed after recovery
+        assert fr.delivered_bps("s1", 0.7, 0.95) > 0.0
+
+    def test_partition_is_classified_not_migrated(self):
+        fr = run_failover_scenario("hb-partition", duration_us=SHORT_US, seed=7)
+        assert fr.meter.partitions >= 1
+        assert fr.meter.migrated == []
+        assert all(p.watchdog.state == "alive" for p in fr.service.planes)
+
+    def test_flap_inside_the_budget_is_ridden_out(self):
+        fr = run_failover_scenario("card-flap", duration_us=SHORT_US, seed=7)
+        assert fr.service.runtimes[0].card.crash_count == 1
+        assert not fr.service.runtimes[0].card.crashed  # reset happened
+        assert fr.meter.migrated == []
+        assert fr.service.planes[0].watchdog.state == "alive"

@@ -1,0 +1,124 @@
+"""DWCS state checkpointing: snapshot/restore and the host-memory mirror."""
+
+from repro.core import DWCSScheduler, StreamSpec
+from repro.ha import CHECKPOINT_BYTES
+from repro.media import FrameType, MediaFrame
+
+
+def make_frame(stream, seq, size=1000):
+    return MediaFrame(stream, seq, FrameType.I, size, pts_us=0.0)
+
+
+def loaded_scheduler(n_frames=8):
+    s = DWCSScheduler(work_conserving=True)
+    s.add_stream(StreamSpec("s1", period_us=1000.0, loss_x=1, loss_y=2))
+    for i in range(n_frames):
+        s.enqueue(make_frame("s1", i), now_us=0.0)
+    return s
+
+
+class TestStreamStateSnapshot:
+    def test_checkpoint_restore_roundtrip(self):
+        s = loaded_scheduler()
+        now = 0.0
+        for _ in range(4):
+            d = s.schedule(now)
+            now = max(now + 500.0, (d.idle_until or now))
+        state = s.streams["s1"]
+        snap = state.checkpoint()
+        assert set(snap) == set(state.CHECKPOINT_FIELDS)
+        # a fresh stream restored from the snapshot carries the live tallies
+        other = DWCSScheduler(work_conserving=True)
+        fresh = other.add_stream(StreamSpec("s1", period_us=1000.0, loss_x=1, loss_y=2))
+        fresh.restore(snap)
+        for field in state.CHECKPOINT_FIELDS:
+            assert getattr(fresh, field) == getattr(state, field)
+
+    def test_checkpoint_is_a_value_not_a_view(self):
+        s = loaded_scheduler()
+        s.schedule(0.0)
+        snap = s.streams["s1"].checkpoint()
+        before = dict(snap)
+        s.schedule(2000.0)  # keeps mutating the live state
+        assert snap == before
+
+
+class TestExportAdopt:
+    def test_adopt_continues_window_accounting_and_deadline_sequence(self):
+        a = loaded_scheduler()
+        now = 0.0
+        for _ in range(5):
+            a.schedule(now)
+            now += 1000.0
+        exported = a.export_stream("s1")
+        assert exported["spec"].stream_id == "s1"
+        assert exported["enqueued_total"] == a.queues["s1"].enqueued_total
+
+        b = DWCSScheduler(work_conserving=True)
+        adopted = b.adopt_stream(exported)
+        src = a.streams["s1"]
+        for field in src.CHECKPOINT_FIELDS:
+            assert getattr(adopted, field) == getattr(src, field)
+        # the deadline sequence is anchored identically on the new card:
+        # the next enqueued frame gets the same deadline both sides
+        assert b.queues["s1"].enqueued_total == a.queues["s1"].enqueued_total
+        fa = a.enqueue(make_frame("s1", 100), now_us=now)
+        fb = b.enqueue(make_frame("s1", 100), now_us=now)
+        assert fb.deadline_us == fa.deadline_us
+
+    def test_adopt_preserves_violation_tallies(self):
+        a = loaded_scheduler(n_frames=2)
+        # starve the stream far past its windows to accrue violations
+        for t in (0.0, 10_000.0, 30_000.0, 60_000.0):
+            a.schedule(t)
+        exported = a.export_stream("s1")
+        b = DWCSScheduler(work_conserving=True)
+        adopted = b.adopt_stream(exported)
+        assert adopted.violations == a.streams["s1"].violations
+        assert adopted.window_resets == a.streams["s1"].window_resets
+
+
+class TestCheckpointMirror:
+    def test_mirror_commits_checkpoints_and_charges_dma(self):
+        from repro.hw.ethernet import EthernetSwitch
+        from repro.server import HAStreamingService, ServerNode
+        from repro.sim import Environment
+
+        env = Environment()
+        node = ServerNode(env, n_cpus=1, n_pci_segments=2)
+        service = HAStreamingService(env, node, EthernetSwitch(env), n_cards=2)
+        service.attach_client("client_s1")
+        spec = StreamSpec("s1", period_us=100_000.0, loss_x=1, loss_y=2)
+        service.open_stream(spec, "client_s1", service_time_us=2000.0)
+        runtime = service.runtime_of("s1")
+        mirror = service.mirror_of(runtime)
+        for i in range(6):
+            runtime.engine.submit(make_frame("s1", i))
+        env.run(until=2_000_000)
+        # the admission-time snapshot plus per-epoch snapshots all landed
+        assert "s1" in mirror.checkpoints
+        assert mirror.snapshots_taken >= 2
+        assert mirror.bytes_mirrored > 0
+        assert mirror.bytes_mirrored % CHECKPOINT_BYTES == 0
+        assert mirror.checkpoints["s1"]["spec"].stream_id == "s1"
+        # the other card mirrors nothing: no streams live there
+        other = next(rt for rt in service.runtimes if rt is not runtime)
+        assert service.mirror_of(other).checkpoints == {}
+
+    def test_forget_drops_mirrored_state(self):
+        from repro.hw.ethernet import EthernetSwitch
+        from repro.server import HAStreamingService, ServerNode
+        from repro.sim import Environment
+
+        env = Environment()
+        node = ServerNode(env, n_cpus=1, n_pci_segments=2)
+        service = HAStreamingService(env, node, EthernetSwitch(env), n_cards=2)
+        service.attach_client("client_s1")
+        spec = StreamSpec("s1", period_us=100_000.0, loss_x=1, loss_y=2)
+        service.open_stream(spec, "client_s1", service_time_us=2000.0)
+        runtime = service.runtime_of("s1")
+        mirror = service.mirror_of(runtime)
+        env.run(until=500_000)
+        assert "s1" in mirror.checkpoints
+        mirror.forget("s1")
+        assert "s1" not in mirror.checkpoints

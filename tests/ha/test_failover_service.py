@@ -1,0 +1,145 @@
+"""HAStreamingService: placement, heartbeats, migration, backpressure."""
+
+import pytest
+
+from repro.core import StreamSpec
+from repro.ha.heartbeat import HEARTBEAT_MSG_ID
+from repro.hw.ethernet import EthernetSwitch
+from repro.server import HAStreamingService, ServerNode
+from repro.sim import Environment
+
+
+def build(env, n_cards=2, **kw):
+    node = ServerNode(env, n_cpus=1, n_pci_segments=2)
+    return HAStreamingService(env, node, EthernetSwitch(env), n_cards=n_cards, **kw)
+
+
+def spec(sid, period_us=333_333.0):
+    return StreamSpec(sid, period_us=period_us, loss_x=1, loss_y=2)
+
+
+class TestAssembly:
+    def test_needs_two_cards(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            build(env, n_cards=1)
+
+    def test_each_card_gets_the_full_ha_plane(self):
+        env = Environment()
+        service = build(env)
+        for plane in service.planes:
+            assert "ha.restore_stream" in plane.vcm_runtime.instruction_names
+            assert plane.watchdog.card is plane.runtime.card
+        env.run(until=1_000_000)
+        for plane in service.planes:
+            assert plane.emitter.beats_sent >= 3
+            assert plane.watchdog.beats >= 3
+            assert plane.watchdog.state == "alive"
+
+    def test_heartbeats_use_the_reserved_message_id(self):
+        assert HEARTBEAT_MSG_ID == 0  # real msg ids start at 1
+
+
+class TestPlacement:
+    def test_streams_spread_by_headroom(self):
+        env = Environment()
+        service = build(env)
+        service.attach_client("c1")
+        service.attach_client("c2")
+        service.open_stream(spec("s1"), "c1", service_time_us=2000.0)
+        service.open_stream(spec("s2"), "c2", service_time_us=2000.0)
+        assert service.runtime_of("s1") is service.runtimes[0]
+        assert service.runtime_of("s2") is service.runtimes[1]
+
+    def test_admission_refuses_past_capacity_on_every_card(self):
+        env = Environment()
+        service = build(env)
+        service.attach_client("c")
+        # each stream demands ~0.5 utilization: two fit (one per card),
+        # the third finds no card with headroom
+        service.open_stream(spec("fat1", period_us=2000.0), "c", service_time_us=2000.0)
+        service.open_stream(spec("fat2", period_us=2000.0), "c", service_time_us=2000.0)
+        with pytest.raises(RuntimeError, match="admission refused"):
+            service.open_stream(
+                spec("fat3", period_us=2000.0), "c", service_time_us=2000.0
+            )
+
+    def test_open_stream_requires_a_service_time(self):
+        env = Environment()
+        service = build(env)
+        service.attach_client("c")
+        with pytest.raises(ValueError):
+            service.open_stream(spec("s1"), "c")
+
+
+class TestMigration:
+    def test_crash_migrates_streams_to_the_survivor(self):
+        env = Environment()
+        service = build(env)
+        service.attach_client("c1")
+        service.attach_client("c2")
+        service.open_stream(spec("s1"), "c1", service_time_us=2000.0)
+        service.open_stream(spec("s2"), "c2", service_time_us=2000.0)
+        env.schedule_callback(2_000_000, service.runtimes[0].card.crash)
+        env.run(until=5_000_000)
+        meter = service.meter
+        assert service.planes[0].watchdog.state == "dead"
+        assert meter.migrated == ["s1"]
+        assert meter.parked == []
+        # the splice: s1 now lives on card 1's scheduler and ledger
+        assert service.runtime_of("s1") is service.runtimes[1]
+        assert "s1" in service.runtimes[1].scheduler.streams
+        assert "s1" in service.runtimes[1].admission.admitted_streams
+        assert "s1" not in service.runtimes[0].admission.admitted_streams
+        assert meter.detection_latency_us is not None
+        assert meter.detection_latency_us <= service.detection_budget_us
+        assert meter.mttr_us is not None and meter.mttr_us >= meter.detection_latency_us
+
+    def test_migration_restores_window_accounting(self):
+        env = Environment()
+        service = build(env)
+        service.attach_client("c1")
+        service.open_stream(spec("s1"), "c1", service_time_us=2000.0)
+        victim = service.runtime_of("s1")
+        env.run(until=1_000_000)
+        mirrored = service.mirror_of(victim).checkpoints["s1"]["state"]
+        victim.card.crash()
+        env.run(until=4_000_000)
+        adopted = service.runtimes[1].scheduler.streams["s1"]
+        # violation/loss tallies carried over from the mirrored snapshot
+        assert adopted.violations >= mirrored["violations"]
+        assert adopted.serviced >= mirrored["serviced"]
+
+    def test_no_headroom_degrades_then_parks(self):
+        env = Environment()
+        service = build(env)
+        service.attach_client("c")
+        # s1 on card 0 (small), fat on card 1 (~0.5 of its ledger): after
+        # card 0 dies, s1 fits beside fat, but a second fat stream would not
+        service.open_stream(spec("s1"), "c", service_time_us=2000.0)
+        service.open_stream(spec("fat", period_us=2000.0), "c", service_time_us=2000.0)
+        assert service.runtime_of("fat") is service.runtimes[1]
+        env.schedule_callback(1_000_000, service.runtimes[0].card.crash)
+        env.run(until=4_000_000)
+        assert service.meter.migrated == ["s1"]
+
+    def test_overload_parks_rather_than_violating_admitted_windows(self):
+        env = Environment()
+        service = build(env, n_cards=2)
+        service.attach_client("c")
+        # both cards nearly full; the dead card's fat stream cannot be
+        # re-admitted anywhere, even degraded
+        service.open_stream(spec("fat0", period_us=2000.0), "c", service_time_us=2000.0)
+        service.open_stream(spec("fat1", period_us=2000.0), "c", service_time_us=2000.0)
+        service.open_stream(spec("fat2", period_us=3000.0), "c", service_time_us=2000.0)
+        victim = service.runtime_of("fat0")
+        assert victim is service.runtimes[0]
+        env.schedule_callback(1_000_000, victim.card.crash)
+        env.run(until=4_000_000)
+        meter = service.meter
+        # fat0 (1/2 · 2000/2000 = 0.5 share) cannot fit beside fat1+fat2
+        assert "fat0" in meter.parked or "fat2" in meter.parked
+        assert service.parked_streams
+        # whatever survived kept its admission share on the survivor
+        survivor = service.runtimes[1]
+        assert survivor.admission.utilization <= survivor.admission.utilization_bound

@@ -1,0 +1,159 @@
+"""Watchdog semantics: declaration, classification, flapping, edge timing."""
+
+import pytest
+
+from repro.ha import Watchdog
+from repro.server import ServerNode
+from repro.sim import Environment
+
+INTERVAL = 100_000.0
+K = 3
+GRACE = 20_000.0
+DEADLINE = K * INTERVAL + GRACE  # relative to the last beat
+
+
+def make_card(env):
+    node = ServerNode(env, n_cpus=1)
+    return node.add_i960_card(segment=0)
+
+
+def beat_forever(env, wd, interval=INTERVAL, until=float("inf")):
+    def beats():
+        while env.now < until:
+            yield env.timeout(interval)
+            wd.record_beat()
+
+    env.process(beats(), name="beats")
+
+
+class TestLiveness:
+    def test_steady_beats_keep_the_card_alive(self):
+        env = Environment()
+        card = make_card(env)
+        wd = Watchdog(env, card, interval_us=INTERVAL, k_missed=K, grace_us=GRACE)
+        beat_forever(env, wd)
+        env.run(until=20 * INTERVAL)
+        assert wd.state == "alive"
+        assert wd.suspicions == 0
+        assert wd.beats >= 18
+
+    def test_phi_grows_with_silence_and_resets_on_a_beat(self):
+        env = Environment()
+        card = make_card(env)
+        wd = Watchdog(env, card, interval_us=INTERVAL, k_missed=K, grace_us=GRACE)
+        env.run(until=INTERVAL)
+        low = wd.phi()
+        env.run(until=3 * INTERVAL)
+        assert wd.phi() > low > 0.0
+        wd.record_beat()
+        assert wd.phi() == 0.0
+
+
+class TestCrashDeclaration:
+    def test_crashed_card_is_declared_dead_within_the_budget(self):
+        env = Environment()
+        card = make_card(env)
+        wd = Watchdog(env, card, interval_us=INTERVAL, k_missed=K, grace_us=GRACE)
+        deaths = []
+        wd.on_dead.append(lambda: deaths.append(env.now))
+        beat_forever(env, wd, until=5 * INTERVAL)
+        env.schedule_callback(5 * INTERVAL, card.crash)
+        env.run(until=30 * INTERVAL)
+        assert wd.state == "dead"
+        assert len(deaths) == 1
+        # declared within one detection budget of the last beat
+        assert wd.declared_dead_at_us - 5 * INTERVAL <= DEADLINE + INTERVAL
+        assert wd.declared_dead_at_us == deaths[0]
+
+    def test_dead_is_terminal_even_after_a_board_reset(self):
+        env = Environment()
+        card = make_card(env)
+        wd = Watchdog(env, card, interval_us=INTERVAL, k_missed=K, grace_us=GRACE)
+        env.schedule_callback(INTERVAL, card.crash)
+        env.run(until=10 * INTERVAL)
+        assert wd.state == "dead"
+        card.reset()
+        wd.record_beat()
+        env.run(until=30 * INTERVAL)
+        assert wd.state == "dead"  # rejoin must go through a fresh watchdog
+
+
+class TestPartitionVsCrash:
+    def test_silent_but_alive_card_classifies_as_partitioned(self):
+        env = Environment()
+        card = make_card(env)
+        wd = Watchdog(env, card, interval_us=INTERVAL, k_missed=K, grace_us=GRACE)
+        partitions = []
+        wd.on_partition.append(lambda: partitions.append(env.now))
+        # no beats at all, card healthy: the probe answers, so this is a
+        # partition of the message path, not a death
+        env.run(until=10 * INTERVAL)
+        assert wd.state == "partitioned"
+        assert len(partitions) == 1  # classified once, not per re-probe
+        assert wd.suspicions >= 1
+
+    def test_partition_recovers_when_beats_resume(self):
+        env = Environment()
+        card = make_card(env)
+        wd = Watchdog(env, card, interval_us=INTERVAL, k_missed=K, grace_us=GRACE)
+        recoveries = []
+        wd.on_recovered.append(lambda: recoveries.append(env.now))
+        env.run(until=6 * INTERVAL)
+        assert wd.state == "partitioned"
+        wd.record_beat()
+        assert wd.state == "alive"
+        assert wd.recoveries == 1 and len(recoveries) == 1
+        beat_forever(env, wd)
+        env.run(until=20 * INTERVAL)
+        assert wd.state == "alive"
+
+    def test_partition_that_turns_into_a_crash_is_declared_dead(self):
+        env = Environment()
+        card = make_card(env)
+        wd = Watchdog(env, card, interval_us=INTERVAL, k_missed=K, grace_us=GRACE)
+        env.run(until=6 * INTERVAL)
+        assert wd.state == "partitioned"
+        card.crash()
+        env.run(until=12 * INTERVAL)
+        assert wd.state == "dead"
+
+
+class TestFlapping:
+    def test_crash_and_reset_inside_the_budget_is_never_declared(self):
+        env = Environment()
+        card = make_card(env)
+        wd = Watchdog(env, card, interval_us=INTERVAL, k_missed=K, grace_us=GRACE)
+        beat_forever(env, wd)
+        # flap: down for two intervals (< K·interval + grace of silence)
+        env.schedule_callback(5 * INTERVAL, card.crash)
+        env.schedule_callback(7 * INTERVAL - 1.0, card.reset)
+        env.run(until=30 * INTERVAL)
+        assert wd.state == "alive"
+        assert wd.suspicions == 0
+        assert card.crash_count == 1
+
+
+class TestDeadlineEdge:
+    def test_beat_landing_exactly_at_the_deadline_counts_as_alive(self):
+        env = Environment()
+        card = make_card(env)
+
+        # the beat process is created BEFORE the watchdog, so at the shared
+        # timestamp its event fires first — the beat must win the tie
+        def one_beat():
+            yield env.timeout(DEADLINE)
+            wd.record_beat()
+
+        env.process(one_beat(), name="edge-beat")
+        wd = Watchdog(env, card, interval_us=INTERVAL, k_missed=K, grace_us=GRACE)
+        env.run(until=DEADLINE + 1.0)
+        assert wd.state == "alive"
+        assert wd.suspicions == 0
+
+    def test_validation(self):
+        env = Environment()
+        card = make_card(env)
+        with pytest.raises(ValueError):
+            Watchdog(env, card, interval_us=0.0)
+        with pytest.raises(ValueError):
+            Watchdog(env, card, interval_us=INTERVAL, k_missed=0)

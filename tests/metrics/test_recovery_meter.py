@@ -1,0 +1,94 @@
+"""RecoveryMeter: milestone stamping and derived recovery metrics."""
+
+from repro.metrics.perfmeter import RecoveryMeter
+from repro.sim import Environment
+
+
+def advance(env, until):
+    env.run(until=until)
+
+
+class TestMilestones:
+    def test_fresh_meter_has_no_milestones(self):
+        meter = RecoveryMeter(Environment())
+        assert meter.fault_at_us is None
+        assert meter.detected_at_us is None
+        assert meter.recovered_at_us is None
+        assert meter.detection_latency_us is None
+        assert meter.mttr_us is None
+
+    def test_fault_and_detection_are_first_write_wins(self):
+        env = Environment()
+        meter = RecoveryMeter(env)
+        env.schedule_callback(100.0, lambda: meter.mark_fault(3))
+        env.schedule_callback(250.0, meter.mark_detected)
+        # later re-marks must not move the original stamps
+        env.schedule_callback(900.0, lambda: meter.mark_fault(99))
+        env.schedule_callback(900.0, meter.mark_detected)
+        advance(env, 1_000.0)
+        assert meter.fault_at_us == 100.0
+        assert meter.detected_at_us == 250.0
+        assert meter.violations_at_fault == 3
+        assert meter.detection_latency_us == 150.0
+
+    def test_recovery_stamp_tracks_the_last_restore(self):
+        env = Environment()
+        meter = RecoveryMeter(env)
+        env.schedule_callback(100.0, meter.mark_fault)
+        # each migrated stream re-stamps recovery: MTTR is fault → LAST one
+        env.schedule_callback(400.0, meter.mark_recovered)
+        env.schedule_callback(700.0, meter.mark_recovered)
+        advance(env, 1_000.0)
+        assert meter.recovered_at_us == 700.0
+        assert meter.mttr_us == 600.0
+
+    def test_post_fault_violations_split_at_the_fault_instant(self):
+        env = Environment()
+        meter = RecoveryMeter(env)
+        meter.mark_fault(violations_so_far=5)
+        assert meter.post_fault_violations(5) == 0
+        assert meter.post_fault_violations(12) == 7
+
+
+class TestRows:
+    def test_row_set_is_fixed_even_without_milestones(self):
+        meter = RecoveryMeter(Environment())
+        rows = meter.rows(violations_total=0)
+        assert [label for label, *_ in rows] == [
+            "detection latency",
+            "time to recovery (MTTR)",
+            "streams migrated",
+            "streams degraded",
+            "streams parked",
+            "post-fault violations",
+            "partitions classified",
+        ]
+        by_label = {label: value for label, value, *_ in rows}
+        # absent milestones render as -1, not as a missing row
+        assert by_label["detection latency"] == -1.0
+        assert by_label["time to recovery (MTTR)"] == -1.0
+        assert by_label["post-fault violations"] == 0.0
+
+    def test_rows_report_milliseconds_and_stream_lists(self):
+        env = Environment()
+        meter = RecoveryMeter(env)
+        env.schedule_callback(1_000.0, lambda: meter.mark_fault(2))
+        env.schedule_callback(3_500.0, meter.mark_detected)
+        env.schedule_callback(6_000.0, meter.mark_recovered)
+        advance(env, 10_000.0)
+        meter.migrated = ["s1", "s2"]
+        meter.degraded = ["s2"]
+        meter.parked = ["s3"]
+        meter.mark_partition()
+        rows = {label: (value, note) for label, value, _unit, note in rows_list(meter)}
+        assert rows["detection latency"] == (2.5, "")
+        assert rows["time to recovery (MTTR)"] == (5.0, "")
+        assert rows["streams migrated"] == (2.0, "s1,s2")
+        assert rows["streams degraded"] == (1.0, "s2")
+        assert rows["streams parked"] == (1.0, "s3")
+        assert rows["post-fault violations"] == (4.0, "")
+        assert rows["partitions classified"] == (1.0, "")
+
+
+def rows_list(meter):
+    return meter.rows(violations_total=6)

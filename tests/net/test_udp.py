@@ -134,3 +134,84 @@ class TestDelivery:
         env.run()
         # two i960 stack traversals (~670us each for 1000B) + wire
         assert arrival[0] > 1_300.0
+
+
+class TestFaultHooks:
+    """The fault plane's datagram windows act inside the sending stack."""
+
+    def test_datagram_drop_window_loses_sends(self):
+        from repro.faults import FaultPlane
+
+        env = Environment()
+        _sw, a, b = topology(env)
+        inbox = b.bind(5)
+        got = []
+
+        def receiver():
+            while True:
+                d = yield inbox.get()
+                got.append(d)
+
+        def sender():
+            for _ in range(100):
+                yield from a.sendto(500, "hostB", 5)
+                yield env.timeout(2_000.0)
+
+        plane = FaultPlane(env, seed=11)
+        plane.inject_datagram_drop(a.name, 0.0, 1 * S, rate=1.0)
+        env.process(receiver())
+        env.process(sender())
+        env.run(until=1 * S)
+        assert got == []  # every datagram died in the stack
+        assert a.datagrams_dropped == 100
+        assert a.datagrams_sent == 0  # never reached the port
+
+    def test_datagram_duplication_delivers_twice(self):
+        from repro.faults import FaultPlane
+
+        env = Environment()
+        _sw, a, b = topology(env)
+        inbox = b.bind(5)
+        got = []
+
+        def receiver():
+            while True:
+                d = yield inbox.get()
+                got.append(d)
+
+        def sender():
+            for _ in range(50):
+                yield from a.sendto(500, "hostB", 5)
+                yield env.timeout(2_000.0)
+
+        plane = FaultPlane(env, seed=11)
+        plane.inject_datagram_duplication(a.name, 0.0, 1 * S, rate=1.0)
+        env.process(receiver())
+        env.process(sender())
+        env.run(until=1 * S)
+        assert a.datagrams_duplicated == 50
+        assert len(got) == 100  # UDP has no dedup: both copies arrive
+
+    def test_no_plane_means_no_hook_cost(self):
+        env = Environment()
+        _sw, a, b = topology(env)
+        inbox = b.bind(5)
+
+        def sender():
+            yield from a.sendto(500, "hostB", 5)
+
+        env.process(sender())
+        env.run()
+        assert a.datagrams_dropped == 0
+        assert a.datagrams_duplicated == 0
+        assert len(inbox.items) == 1
+
+    def test_rate_validation(self):
+        from repro.faults import FaultPlane
+
+        env = Environment()
+        plane = FaultPlane(env, seed=1)
+        with pytest.raises(ValueError):
+            plane.inject_datagram_drop("x", 0.0, 1.0, rate=0.0)
+        with pytest.raises(ValueError):
+            plane.inject_datagram_duplication("x", 0.0, 1.0, rate=1.5)
