@@ -54,10 +54,25 @@ class CoupledDispatcher:
 
     def submit(self, desc: FrameDescriptor, task: Task) -> Generator:
         """Process fragment: dispatch *desc* inline on *task*."""
+        obs = getattr(self.env, "obs", None)
+        sp = (
+            obs.begin(
+                "dispatch",
+                track=f"cpu:{self.cpu.name}",
+                stream=desc.stream_id,
+                seq=desc.frame.seqno,
+                mode=self.name,
+            )
+            if obs is not None
+            else None
+        )
         d_ops = self.scheduler.dispatch_ops()
         yield task.compute(self.cpu.time_for(d_ops))
         self.queue_residence_us.add(0.0)
         self.dispatched += 1
+        if obs is not None:
+            obs.end(sp)
+            obs.count("dispatch.frames", mode=self.name)
         self.env.process(self.transmit(desc))
 
     @property
@@ -105,10 +120,26 @@ class AsyncDispatcher:
         """The dispatch task: drain the queue forever."""
         while True:
             queued_at, desc = yield self.queue.get()
+            obs = getattr(self.env, "obs", None)
+            sp = (
+                obs.begin(
+                    "dispatch",
+                    track=f"cpu:{self.cpu.name}",
+                    stream=desc.stream_id,
+                    seq=desc.frame.seqno,
+                    mode=self.name,
+                )
+                if obs is not None
+                else None
+            )
             d_ops = self.scheduler.dispatch_ops()
             yield task.compute(self.cpu.time_for(d_ops))
             self.queue_residence_us.add(self.env.now - queued_at)
             self.dispatched += 1
+            if obs is not None:
+                obs.end(sp)
+                obs.count("dispatch.frames", mode=self.name)
+                obs.observe("dispatch.residence_us", self.env.now - queued_at, mode=self.name)
             self.env.process(self.transmit(desc))
 
     @property

@@ -317,7 +317,12 @@ class DWCSScheduler:
             self.stats.violations += 1
             state.reset_window()
             if self.tracer is not None and self.tracer.wants("dwcs"):
-                self.tracer.emit("dwcs", "violation", stream=state.stream_id)
+                self.tracer.emit(
+                    "dwcs",
+                    "violation",
+                    stream=state.stream_id,
+                    total=state.violations,
+                )
 
     # -- miss processing ------------------------------------------------------------
     def _process_misses(self, now_us: float) -> list[FrameDescriptor]:

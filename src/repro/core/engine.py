@@ -140,11 +140,25 @@ class StreamingEngine:
         self.queuing_delay_us: dict[str, TimeSeries] = {}
         self.delay_stats: dict[str, TallyStats] = {}
         self.frames_sent: dict[str, int] = {}
+        #: open scheduler-queue spans, keyed by descriptor identity; ended
+        #: on dispatch or drop (observability plane only)
+        self._squeue_spans: dict[int, int] = {}
 
     # -- producer-facing ------------------------------------------------------
     def submit(self, frame: MediaFrame, address: int = 0) -> FrameDescriptor:
         """Inject a frame and wake the scheduler task if it is idle."""
         desc = self.scheduler.enqueue(frame, self.env.now, address=address)
+        obs = getattr(self.env, "obs", None)
+        if obs is not None:
+            sp = obs.begin(
+                "squeue",
+                track="sched:rings",
+                stream=frame.stream_id,
+                seq=frame.seqno,
+            )
+            if sp is not None:
+                self._squeue_spans[id(desc)] = sp
+            obs.count("engine.frames_submitted", stream=frame.stream_id)
         if self._wakeup is not None and not self._wakeup.triggered:
             self._wakeup.succeed()
         return desc
@@ -185,6 +199,19 @@ class StreamingEngine:
                 continue
             decision = self.scheduler.schedule(env.now)
             yield task.compute(self.cpu.time_for(decision.ops, self.working_set_bytes))
+            obs = getattr(env, "obs", None)
+            if obs is not None:
+                for dropped in decision.dropped:
+                    obs.end(
+                        self._squeue_spans.pop(id(dropped), None), dropped=True
+                    )
+                    obs.count("engine.frames_dropped", stream=dropped.stream_id)
+                    obs.instant(
+                        "frame_drop",
+                        track="sched:rings",
+                        stream=dropped.stream_id,
+                        seq=dropped.frame.seqno,
+                    )
             if self.on_drop is not None:
                 for dropped in decision.dropped:
                     self.on_drop(dropped)
@@ -201,9 +228,21 @@ class StreamingEngine:
                     yield from self.dispatcher.submit(decision.serviced, task)
                 else:
                     d_ops = self.scheduler.dispatch_ops()
+                    sp = (
+                        obs.begin(
+                            "dispatch",
+                            track=f"cpu:{self.cpu.name}",
+                            stream=decision.serviced.stream_id,
+                            seq=decision.serviced.frame.seqno,
+                        )
+                        if obs is not None
+                        else None
+                    )
                     yield task.compute(
                         self.cpu.time_for(d_ops, self.working_set_bytes)
                     )
+                    if obs is not None:
+                        obs.end(sp)
                     env.process(self.transmit(decision.serviced))
                 self._record_dispatch(decision)
             elif self.scheduler.backlog == 0 or decision.idle_until is not None:
@@ -228,3 +267,8 @@ class StreamingEngine:
         self.frames_sent[sid] += 1
         self.queuing_delay_us[sid].record(self.env.now, delay)
         self.delay_stats[sid].add(delay)
+        obs = getattr(self.env, "obs", None)
+        if obs is not None:
+            obs.end(self._squeue_spans.pop(id(desc), None))
+            obs.count("engine.frames_dispatched", stream=sid)
+            obs.observe("engine.queuing_delay_us", delay, stream=sid)

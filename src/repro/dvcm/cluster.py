@@ -102,6 +102,9 @@ class DVCMNode:
 
     def _execute(self, request: _Request) -> _Reply:
         self.remote_calls_served += 1
+        obs = getattr(self.env, "obs", None)
+        if obs is not None:
+            obs.count("dvcm.remote_calls_served", node=self.name)
         # reuse the local message machinery: same handlers, same errors
         inner = self.runtime._execute(
             I2OMessage(function=request.function, payload=request.payload)
@@ -149,12 +152,21 @@ class RemoteVCM:
         TCP aborts (retry budget exhausted) while the call is in flight.
         The broken connection is discarded so a later call re-dials.
         """
+        obs = getattr(self.env, "obs", None)
+        sp = (
+            obs.begin("rpc", track=f"node:{self.name}", fn=function, peer=peer_address)
+            if obs is not None
+            else None
+        )
         conn = self._conns.get(peer_address)
         if conn is None:
             try:
                 conn = yield from self._dial(peer_address)
             except TCPError as exc:
                 self.peer_down_errors += 1
+                if obs is not None:
+                    obs.end(sp, error="peer_down")
+                    obs.count("dvcm.peer_down_errors", node=self.name)
                 raise VCMPeerDown(f"{peer_address}: {exc}") from exc
         request = _Request(
             call_id=next(_call_ids),
@@ -167,6 +179,9 @@ class RemoteVCM:
         except TCPError as exc:
             self._discard(peer_address)
             self.peer_down_errors += 1
+            if obs is not None:
+                obs.end(sp, error="peer_down")
+                obs.count("dvcm.peer_down_errors", node=self.name)
             raise VCMPeerDown(f"{peer_address}: {exc}") from exc
         replies = self._pending[peer_address]
         reply_ev = replies.get(filter=lambda r: r.call_id == request.call_id)
@@ -180,11 +195,17 @@ class RemoteVCM:
                 replies.cancel(reply_ev)
                 self._discard(peer_address)
                 self.peer_down_errors += 1
+                if obs is not None:
+                    obs.end(sp, error="peer_down")
+                    obs.count("dvcm.peer_down_errors", node=self.name)
                 raise VCMPeerDown(
                     f"{peer_address}: connection reset while awaiting "
                     f"{function} reply"
                 )
         self.calls += 1
+        if obs is not None:
+            obs.end(sp, status=reply.status)
+            obs.count("dvcm.calls", node=self.name)
         if reply.status != "ok":
             raise RemoteCallError(f"{function} on {peer_address}: {reply.result}")
         return reply.result

@@ -71,17 +71,33 @@ class MessageQueuePair:
         segment before the message becomes visible to the NI.
         """
         message.posted_at = self.env.now
+        obs = getattr(self.env, "obs", None)
+        sp = (
+            obs.begin(
+                "i2o",
+                track=f"card:{self.name}",
+                fn=message.function,
+                msg_id=message.msg_id,
+            )
+            if obs is not None
+            else None
+        )
         for _ in range(HEADER_WORDS):
             yield from self.segment.pio_write()
         if message.bulk_bytes > 0:
             yield from self.segment.transfer(message.bulk_bytes)
         self.posted += 1
+        if obs is not None:
+            obs.end(sp)
+            obs.count("i2o.posted", queue=self.name)
         plane = getattr(self.env, "fault_plane", None)
         if plane is not None:
             if plane.message_dropped(self.name):
                 # the frame vanished on the bus: PCI cost paid, nothing
                 # arrives — callers recover via the VCMInterface retry path
                 self.dropped += 1
+                if obs is not None:
+                    obs.count("i2o.dropped", queue=self.name)
                 return
             if plane.message_duplicated(self.name):
                 # bridge retry: the same frame (same msg_id) lands twice;
@@ -105,12 +121,17 @@ class MessageQueuePair:
         for _ in range(HEADER_WORDS // 2):
             yield from self.segment.pio_read()
         self.replied += 1
+        obs = getattr(self.env, "obs", None)
+        if obs is not None:
+            obs.count("i2o.replied", queue=self.name)
         plane = getattr(self.env, "fault_plane", None)
         if plane is not None:
             if plane.message_dropped(self.name):
                 # reply frame lost on the bus: the host retries the request
                 # (calls) or the watchdog misses a beat (heartbeats)
                 self.dropped += 1
+                if obs is not None:
+                    obs.count("i2o.dropped", queue=self.name)
                 return
             if plane.message_duplicated(self.name):
                 self.duplicated += 1

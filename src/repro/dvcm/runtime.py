@@ -87,12 +87,25 @@ class VCMRuntime:
         """VxWorks task body: serve messages forever (at-most-once)."""
         while True:
             message: I2OMessage = yield self.queues.receive()
+            obs = getattr(self.env, "obs", None)
             if self.card is not None and self.card.crashed:
                 # wedged firmware: the frame is consumed but never served
                 # (no reply, no compute) — callers hit their timeout or
                 # peer-down path
                 self.messages_lost_to_crash += 1
+                if obs is not None:
+                    obs.count("vcm.lost_to_crash", runtime=self.name)
                 continue
+            sp = (
+                obs.begin(
+                    "firmware",
+                    track=f"cpu:{self.cpu.name}",
+                    fn=message.function,
+                    msg_id=message.msg_id,
+                )
+                if obs is not None
+                else None
+            )
             yield task.compute(self.cpu.time_us(MESSAGE_DISPATCH_CYCLES))
             cached = self._reply_cache.get(message.msg_id)
             if cached is not None:
@@ -100,12 +113,20 @@ class VCMRuntime:
                 # execute again — repost the remembered reply
                 self.duplicates_deduped += 1
                 yield from self.queues.reply(cached)
+                if obs is not None:
+                    obs.end(sp, deduped=True)
+                    obs.count("vcm.duplicates_deduped", runtime=self.name)
                 continue
             reply = self._execute(message)
             self._reply_cache[message.msg_id] = reply
             while len(self._reply_cache) > REPLY_CACHE_ENTRIES:
                 self._reply_cache.popitem(last=False)
             yield from self.queues.reply(reply)
+            if obs is not None:
+                obs.end(sp, status=reply.status)
+                obs.count("vcm.messages_handled", runtime=self.name)
+                if reply.status != "ok":
+                    obs.count("vcm.errors", runtime=self.name)
 
     def execute_local(self, function: str, payload: dict[str, Any]) -> Any:
         """Invoke an instruction directly (NI-local caller, no messaging).

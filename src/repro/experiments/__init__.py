@@ -23,6 +23,7 @@ from .figures import (
 )
 from .extensions import admission_sweep, jitter_comparison, ni_balance, stream_scaling
 from .headline import headline, scheduling_overhead
+from .observe import observe, run_observed
 from .report import ExperimentResult, Row, Series
 from .sensitivity import cost_sensitivity, mechanism_knockouts
 from .tables import table1, table2, table3, table4, table5
@@ -50,6 +51,8 @@ __all__ = [
     "run_chaos_scenario",
     "failover",
     "run_failover_scenario",
+    "observe",
+    "run_observed",
     "run_loading_experiment",
     "LoadedRun",
     "ExperimentResult",
@@ -79,6 +82,7 @@ REGISTRY: dict[str, Callable[[], ExperimentResult]] = {
     "sens_knockouts": mechanism_knockouts,
     "chaos": chaos,
     "failover": failover,
+    "observe": observe,
 }
 
 

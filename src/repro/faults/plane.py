@@ -273,10 +273,18 @@ class FaultPlane:
 
     def _count(self, kind: str) -> None:
         self.injected[kind] = self.injected.get(kind, 0) + 1
+        obs = getattr(self.env, "obs", None)
+        if obs is not None:
+            obs.count("faults.injected", kind=kind)
 
     def _trace(self, name: str, **fields) -> None:
-        if self.tracer is not None and self.tracer.wants("fault"):
-            self.tracer.emit("fault", name, **fields)
+        tracer = self.tracer
+        if tracer is None:
+            # no explicit tracer wired: ride the observability plane's
+            obs = getattr(self.env, "obs", None)
+            tracer = obs.tracer if obs is not None else None
+        if tracer is not None and tracer.wants("fault"):
+            tracer.emit("fault", name, **fields)
 
     @property
     def total_injected(self) -> int:

@@ -74,6 +74,9 @@ class HeartbeatEmitter:
             if self.card.crashed:
                 continue
             self.beats_sent += 1
+            obs = getattr(self.env, "obs", None)
+            if obs is not None:
+                obs.count("heartbeat.beats_sent", card=self.card.name)
             yield from self.queues.reply(
                 I2OReply(msg_id=HEARTBEAT_MSG_ID, status="beat", result=self.card.name)
             )

@@ -81,9 +81,19 @@ class Watchdog:
             self._mean_gap_us += 0.2 * (gap - self._mean_gap_us)
         self.last_beat_us = self.env.now
         self.beats += 1
+        obs = getattr(self.env, "obs", None)
+        if obs is not None:
+            obs.count("watchdog.beats", card=self.card.name)
         if self.state == "partitioned":
             self.state = "alive"
             self.recoveries += 1
+            if obs is not None:
+                obs.count("watchdog.recoveries", card=self.card.name)
+                obs.instant(
+                    "watchdog_recovered",
+                    track=f"card:{self.card.name}",
+                    card=self.card.name,
+                )
             for callback in list(self.on_recovered):
                 callback()
 
@@ -112,16 +122,34 @@ class Watchdog:
                 yield self.env.timeout(self.deadline_us - now)
                 continue
             self.suspicions += 1
+            obs = getattr(self.env, "obs", None)
+            if obs is not None:
+                obs.count("watchdog.suspicions", card=self.card.name)
             alive = yield from self.card.status_probe()
             if not alive:
                 self.state = "dead"
                 self.declared_dead_at_us = self.env.now
+                if obs is not None:
+                    obs.count("watchdog.deaths_declared", card=self.card.name)
+                    obs.instant(
+                        "watchdog_dead",
+                        track=f"card:{self.card.name}",
+                        card=self.card.name,
+                        phi=round(self.phi(), 3),
+                    )
                 for callback in list(self.on_dead):
                     callback()
                 return
             if self.state == "alive":
                 self.state = "partitioned"
                 self.partitions += 1
+                if obs is not None:
+                    obs.count("watchdog.partitions", card=self.card.name)
+                    obs.instant(
+                        "watchdog_partition",
+                        track=f"card:{self.card.name}",
+                        card=self.card.name,
+                    )
                 for callback in list(self.on_partition):
                     callback()
             # still partitioned: re-probe every interval until a beat gets

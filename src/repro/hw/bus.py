@@ -60,12 +60,22 @@ class Bus:
         if nbytes <= 0:
             raise ValueError("transfer size must be positive")
         start = self.env.now
+        obs = getattr(self.env, "obs", None)
+        sp = (
+            obs.begin("bus", track=f"bus:{self.name}", bytes=nbytes)
+            if obs is not None
+            else None
+        )
         with self._lock.request(priority=priority) as req:
             yield req
             duration = self.per_transaction_us + self.transfer_time_us(nbytes)
             yield self.env.timeout(duration)
         self.bytes_transferred += nbytes
         self.transactions += 1
+        if obs is not None:
+            obs.end(sp)
+            obs.count("bus.bytes", nbytes, bus=self.name)
+            obs.count("bus.transactions", bus=self.name)
         return self.env.now - start
 
     # -- introspection -------------------------------------------------------

@@ -106,6 +106,17 @@ class SCSIDisk:
         if nbytes <= 0:
             raise ValueError("I/O size must be positive")
         start = self.env.now
+        obs = getattr(self.env, "obs", None)
+        sp = (
+            obs.begin(
+                "disk_io",
+                track=f"disk:{self.name}",
+                bytes=nbytes,
+                op="write" if write else "read",
+            )
+            if obs is not None
+            else None
+        )
         with self._actuator.request(priority=priority) as req:
             yield req
             sequential = (
@@ -122,6 +133,9 @@ class SCSIDisk:
                     yield self.env.timeout(access_us)
                     self.stats.media_errors += 1
                     self._last_end_offset = None  # head position unknown
+                    if obs is not None:
+                        obs.end(sp, error="media")
+                        obs.count("disk.media_errors", disk=self.name)
                     raise DiskMediaError(
                         f"{self.name}: media error on "
                         f"{'write' if write else 'read'} of {nbytes} bytes"
@@ -139,6 +153,14 @@ class SCSIDisk:
             self.stats.bytes_read += nbytes
         if sequential:
             self.stats.sequential_hits += 1
+        if obs is not None:
+            obs.end(sp, sequential=sequential)
+            obs.count(
+                "disk.bytes_written" if write else "disk.bytes_read",
+                nbytes,
+                disk=self.name,
+            )
+            obs.observe("disk.access_us", self.env.now - start, disk=self.name)
         return self.env.now - start
 
     def __repr__(self) -> str:

@@ -121,8 +121,20 @@ class EthernetPort:
         if self.switch is None:
             raise RuntimeError(f"port {self.name!r} not attached to a switch")
         frame.sent_at = self.env.now
+        obs = getattr(self.env, "obs", None)
+        sp = None
+        if obs is not None:
+            fields = {"bytes": frame.payload_bytes, "dest": dest}
+            if frame.stream_id is not None:
+                fields["stream"] = frame.stream_id
+                fields["seq"] = frame.seqno
+            sp = obs.begin("wire", track=f"net:{self.name}", **fields)
         yield from self.uplink.transmit(frame.wire_bytes)
         yield from self.switch.forward(frame, dest)
+        if obs is not None:
+            obs.end(sp)
+            obs.count("net.frames_sent", port=self.name)
+            obs.count("net.wire_bytes", frame.wire_bytes, port=self.name)
         return self.env.now - frame.sent_at
 
     def receive(self) -> "Event":
@@ -179,16 +191,24 @@ class EthernetSwitch:
         except KeyError:
             raise KeyError(f"no port {dest!r} on switch {self.name!r}") from None
         yield self.env.timeout(self.latency_us)
+        obs = getattr(self.env, "obs", None)
         if self.loss_rate > 0.0 and self._loss_rng is not None:
             if self._loss_rng.random() < self.loss_rate:
                 self.frames_dropped += 1
+                if obs is not None:
+                    obs.count("switch.frames_dropped", dest=dest)
                 return  # frame vanishes (congestion drop)
         plane = getattr(self.env, "fault_plane", None)
         if plane is not None and plane.frame_lost(dest):
             self.frames_dropped += 1
+            if obs is not None:
+                obs.count("switch.frames_dropped", dest=dest)
+                obs.instant("frame_lost", track=f"net:{self.name}", dest=dest)
             return  # injected fault: loss burst or partition
         yield from downlink.transmit(frame.wire_bytes)
         self.frames_forwarded += 1
+        if obs is not None:
+            obs.count("switch.frames_forwarded", dest=dest)
         port.inbox.put(frame)
 
     @property

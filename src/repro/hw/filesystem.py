@@ -51,8 +51,23 @@ class File:
         if self.eof:
             return 0
         nbytes = min(nbytes, self.size_bytes - self.offset)
+        obs = getattr(self.fs.env, "obs", None)
+        sp = (
+            obs.begin(
+                "fs",
+                track=f"disk:{self.fs.disk.name}",
+                file=self.name,
+                bytes=nbytes,
+                fstype=self.fs.fstype,
+            )
+            if obs is not None
+            else None
+        )
         yield from self.fs._read(self, self.offset, nbytes)
         self.offset += nbytes
+        if obs is not None:
+            obs.end(sp)
+            obs.count("fs.reads", fs=self.fs.fstype)
         return nbytes
 
     def rewind(self) -> None:
@@ -113,9 +128,12 @@ class UFS(Filesystem):
         first_block = offset // self.BLOCK_BYTES
         last_block = (offset + nbytes - 1) // self.BLOCK_BYTES
         cached_through = self._cached_through.get(file.name, -1)
+        obs = getattr(self.env, "obs", None)
         for block in range(first_block, last_block + 1):
             if block <= cached_through:
                 self.cache_hits += 1
+                if obs is not None:
+                    obs.count("fs.cache_hits", fs=self.fstype)
                 continue
             # Miss: one multi-block command fetches the missed block plus
             # read-ahead; streamed blocks after the first cost only media
@@ -165,6 +183,9 @@ class DosFS(Filesystem):
             # disjoint from the data — a full random access.
             self.fat_accesses += 1
             self.disk_accesses += 1
+            obs = getattr(self.env, "obs", None)
+            if obs is not None:
+                obs.count("fs.fat_accesses", fs=self.fstype)
             yield from self.disk.read(512)  # offset=None -> random
         # Data access: dosFs has no buffer cache and no read-ahead, so every
         # cluster is an independent command that pays full positioning (the

@@ -74,6 +74,10 @@ class PCISegment(Bus):
             yield self.env.timeout(cost_us)
         self.bytes_transferred += self.width_bytes
         self.transactions += 1
+        obs = getattr(self.env, "obs", None)
+        if obs is not None:
+            obs.count("pci.pio_ops", bus=self.name)
+            obs.observe("pci.pio_us", self.env.now - start, bus=self.name)
         return self.env.now - start
 
 
@@ -95,6 +99,12 @@ class PCIBridge:
     ) -> Generator[Event, None, float]:
         """Process: move *nbytes* between host memory and a device."""
         start = self.env.now
+        obs = getattr(self.env, "obs", None)
+        sp = (
+            obs.begin("bridge", track=f"bus:{self.segment.name}", bytes=nbytes)
+            if obs is not None
+            else None
+        )
         # The slower bus paces the transfer; both carry the traffic.
         with self.system_bus._lock.request(priority=priority) as sysreq:
             yield sysreq
@@ -110,6 +120,9 @@ class PCIBridge:
         for bus in (self.system_bus, self.segment):
             bus.bytes_transferred += nbytes
             bus.transactions += 1
+        if obs is not None:
+            obs.end(sp)
+            obs.count("bridge.bytes", nbytes, segment=self.segment.name)
         return self.env.now - start
 
 
@@ -128,6 +141,9 @@ class DMAEngine:
         """Process: card-to-card DMA on the local segment (no host involved)."""
         latency = yield from self.segment.transfer(nbytes, priority=priority)
         self.bytes_moved += nbytes
+        obs = getattr(self.env, "obs", None)
+        if obs is not None:
+            obs.count("dma.peer_bytes", nbytes, segment=self.segment.name)
         return latency
 
     def host_transfer(
@@ -138,4 +154,7 @@ class DMAEngine:
             raise ValueError("bridge does not serve this card's segment")
         latency = yield from bridge.transfer(nbytes, priority=priority)
         self.bytes_moved += nbytes
+        obs = getattr(self.env, "obs", None)
+        if obs is not None:
+            obs.count("dma.host_bytes", nbytes, segment=self.segment.name)
         return latency

@@ -48,7 +48,9 @@ class Perfmeter:
             busy = self.kernel.cumulative_busy_us()
             span = (self.env.now - last_t) * self.kernel.n_cpus
             util = 100.0 * (busy - last_busy) / span if span > 0 else 0.0
-            self.series.record(self.env.now, min(100.0, util))
+            # clamp both ends: a kernel busy-counter reset mid-run would
+            # otherwise record a negative utilization sample
+            self.series.record(self.env.now, min(100.0, max(0.0, util)))
             last_busy, last_t = busy, self.env.now
 
     def average(self, start: float = 0.0, end: Optional[float] = None) -> float:

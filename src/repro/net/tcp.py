@@ -220,6 +220,13 @@ class TCPConnection:
                     return
                 outstanding = sorted(self._segments)
                 self.retransmissions += len(outstanding)
+                obs = getattr(env, "obs", None)
+                if obs is not None:
+                    obs.count(
+                        "tcp.retransmissions",
+                        len(outstanding),
+                        stack=self.stack.name,
+                    )
                 for seq in outstanding:
                     seg = self._segments.get(seq)
                     if seg is None:
@@ -250,6 +257,10 @@ class TCPConnection:
 
     def _trace(self, name: str, **fields: Any) -> None:
         tracer = self.stack.tracer
+        if tracer is None:
+            # no explicit tracer wired: ride the observability plane's
+            obs = getattr(self.env, "obs", None)
+            tracer = obs.tracer if obs is not None else None
         if tracer is not None and tracer.wants("tcp"):
             tracer.emit("tcp", name, port=self.local_port, **fields)
 
@@ -462,7 +473,21 @@ class TCPStack:
         )
 
     def _transmit(self, seg: Segment, dest_host: str) -> Generator[Event, None, None]:
+        obs = getattr(self.env, "obs", None)
+        sp = (
+            obs.begin(
+                "stack",
+                track=f"net:{self.eth_port.name}",
+                proto="tcp",
+                bytes=seg.payload_bytes,
+            )
+            if obs is not None
+            else None
+        )
         yield self.env.timeout(self.stack.cost_us(seg.payload_bytes or 1))
+        if obs is not None:
+            obs.end(sp)
+            obs.count("tcp.segments_sent", stack=self.name)
         frame = NetFrame(
             payload_bytes=seg.payload_bytes + TCP_HEADER_BYTES,
             stream_id=f"tcp:{seg.dst_port}",

@@ -87,10 +87,25 @@ class UDPStack:
         """Process: transmit one datagram (no delivery guarantee)."""
         if payload_bytes <= 0:
             raise ValueError("payload must be positive")
+        obs = getattr(self.env, "obs", None)
+        sp = (
+            obs.begin(
+                "stack",
+                track=f"net:{self.eth_port.name}",
+                proto="udp",
+                bytes=payload_bytes,
+            )
+            if obs is not None
+            else None
+        )
         yield self.env.timeout(self.stack.cost_us(payload_bytes))
+        if obs is not None:
+            obs.end(sp)
         plane = getattr(self.env, "fault_plane", None)
         if plane is not None and plane.datagram_dropped(self.name):
             self.datagrams_dropped += 1
+            if obs is not None:
+                obs.count("udp.datagrams_dropped", stack=self.name)
             return
         dgram = Datagram(
             src_host=self.eth_port.name,
@@ -106,6 +121,8 @@ class UDPStack:
             meta=dgram,
         )
         self.datagrams_sent += 1
+        if obs is not None:
+            obs.count("udp.datagrams_sent", stack=self.name)
         yield from self.eth_port.send(frame, dest_host)
         if plane is not None and plane.datagram_duplicated(self.name):
             self.datagrams_duplicated += 1

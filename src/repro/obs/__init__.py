@@ -1,0 +1,33 @@
+"""Observability plane: datapath spans, metrics registry, latency breakdown.
+
+The plane (:class:`ObservabilityPlane`) installs itself as ``env.obs``;
+instrumented components look it up at call time with
+``getattr(self.env, "obs", None)`` — the same late-binding pattern the
+fault plane uses — so an uninstrumented run pays one attribute probe per
+hook and records nothing.
+"""
+
+from .breakdown import CriticalPath, HopStats, LatencyBreakdown
+from .export import (
+    render_breakdown_csv,
+    render_chrome_trace,
+    render_metrics_snapshot,
+    write_observe_artifacts,
+)
+from .plane import ObservabilityPlane
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "ObservabilityPlane",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LatencyBreakdown",
+    "HopStats",
+    "CriticalPath",
+    "render_chrome_trace",
+    "render_breakdown_csv",
+    "render_metrics_snapshot",
+    "write_observe_artifacts",
+]

@@ -1,0 +1,115 @@
+"""The observability plane object installed as ``env.obs``.
+
+Instrumented code follows one pattern everywhere::
+
+    obs = getattr(self.env, "obs", None)
+    sp = obs.begin("read", track="disk:sd0", stream=sid, seq=n) if obs else None
+    ...  # the timed work
+    if obs:
+        obs.end(sp, bytes=frame.size_bytes)
+
+With no plane attached the hook costs a single ``getattr`` returning
+``None``. With a plane attached but the span category filtered out,
+``begin`` returns ``None`` and ``end(None)`` is a no-op — the same
+near-zero-cost contract the fault plane and ``Tracer.wants`` already set.
+
+Span events live in category ``"span"``; instant markers (crashes,
+failovers, drops) in ``"event"``. Both ride the ordinary
+:class:`~repro.sim.trace.Tracer`, so the DWCS/TCP/fault categories that
+existed before this plane land in the same ring and the same exports.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable, Optional
+
+from ..sim.trace import Tracer
+from .registry import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.environment import Environment
+
+__all__ = ["ObservabilityPlane", "SPAN_CATEGORY", "EVENT_CATEGORY"]
+
+SPAN_CATEGORY = "span"
+EVENT_CATEGORY = "event"
+
+
+class ObservabilityPlane:
+    """Bundles a span tracer and a metrics registry behind ``env.obs``.
+
+    Parameters
+    ----------
+    env:
+        The simulation environment to observe. ``install()`` binds the
+        plane as ``env.obs``; components discover it at call time.
+    capacity:
+        Tracer ring bound. Instrumented full-length runs produce on the
+        order of 10 events per frame hop, so the default is generous.
+    categories:
+        Optional tracer category filter; ``None`` records everything.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        capacity: int = 2_000_000,
+        categories: Optional[Iterable[str]] = None,
+    ) -> None:
+        self.env = env
+        self.tracer = Tracer(env, categories=categories, capacity=capacity)
+        self.registry = MetricsRegistry()
+
+    def install(self) -> "ObservabilityPlane":
+        """Bind as ``env.obs`` (idempotent) and return self."""
+        self.env.obs = self  # type: ignore[attr-defined]
+        return self
+
+    def uninstall(self) -> None:
+        if getattr(self.env, "obs", None) is self:
+            del self.env.obs  # type: ignore[attr-defined]
+
+    # -- spans ----------------------------------------------------------------
+    def begin(
+        self,
+        hop: str,
+        track: Optional[str] = None,
+        parent: Optional[int] = None,
+        **fields: Any,
+    ) -> Optional[int]:
+        """Open a datapath-hop span; *track* names the Perfetto lane
+        (``cpu:host0``, ``bus:pci1``, ``card:rd0``...)."""
+        if track is not None:
+            fields["track"] = track
+        return self.tracer.begin_span(SPAN_CATEGORY, hop, parent=parent, **fields)
+
+    def end(self, span_id: Optional[int], **fields: Any) -> None:
+        self.tracer.end_span(span_id, **fields)
+
+    def instant(
+        self, name: str, track: Optional[str] = None, **fields: Any
+    ) -> None:
+        """Zero-duration marker (crash, failover, drop, violation)."""
+        if track is not None:
+            fields["track"] = track
+        self.tracer.instant(EVENT_CATEGORY, name, **fields)
+
+    # -- metrics ----------------------------------------------------------------
+    def count(self, name: str, amount: float = 1.0, **labels: Any) -> None:
+        self.registry.count(name, amount, **labels)
+
+    def gauge(self, name: str, value: float, **labels: Any) -> None:
+        self.registry.gauge(name, value, **labels)
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        self.registry.observe(name, value, **labels)
+
+    # -- convenience -------------------------------------------------------------
+    def span_events(self):
+        return self.tracer.events(category=SPAN_CATEGORY)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ObservabilityPlane {len(self.tracer)} events, "
+            f"{len(self.registry)} metric series>"
+        )

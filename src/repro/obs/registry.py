@@ -1,0 +1,238 @@
+"""Metrics registry: named counters, gauges, and fixed-bucket histograms.
+
+One :class:`MetricsRegistry` per observability plane collects every metric
+the instrumented datapath produces, keyed by ``(name, sorted label set)``.
+Labels are plain keyword arguments (``registry.count("nic.crashes",
+card="rd0")``), so call sites stay one-liners. Snapshots are plain nested
+dicts with deterministic ordering — same run, same seed, byte-identical
+JSON — which is what the CI determinism smoke diffs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS_US"]
+
+#: default latency buckets (µs) — tuned to the paper's timescales: PIO ops
+#: are single-digit µs, DMA/bridge transfers tens to hundreds, scheduler
+#: rounds and frame services milliseconds, failover tens of milliseconds
+DEFAULT_BUCKETS_US = (
+    10.0,
+    100.0,
+    1_000.0,
+    10_000.0,
+    100_000.0,
+    1_000_000.0,
+)
+
+LabelKey = tuple[tuple[str, Any], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    return tuple(sorted(labels.items()))
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count (frames sent, faults injected...)."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+@dataclass
+class Gauge:
+    """Last-write-wins instantaneous value (queue depth, window headroom)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram with sum/count/min/max sidecars.
+
+    ``buckets`` are upper bounds; an observation lands in the first bucket
+    whose bound is >= the value, or the overflow slot past the last bound.
+    """
+
+    name: str
+    buckets: tuple[float, ...] = DEFAULT_BUCKETS_US
+    counts: list[int] = field(default_factory=list)
+    total: float = 0.0
+    observations: int = 0
+    min_value: Optional[float] = None
+    max_value: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.buckets:
+            raise ValueError(f"histogram {self.name!r} needs at least one bucket")
+        if list(self.buckets) != sorted(self.buckets):
+            raise ValueError(f"histogram {self.name!r} buckets must be ascending")
+        if not self.counts:
+            self.counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, value: float) -> None:
+        self.observations += 1
+        self.total += value
+        if self.min_value is None or value < self.min_value:
+            self.min_value = value
+        if self.max_value is None or value > self.max_value:
+            self.max_value = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.observations,
+            "sum": self.total,
+            "min": self.min_value,
+            "max": self.max_value,
+        }
+
+
+class MetricsRegistry:
+    """Label-aware metric store with kind-conflict detection.
+
+    A name is bound to one metric kind on first use; reusing it as a
+    different kind raises immediately (a silent counter/gauge mixup would
+    corrupt the snapshot rather than crash, which is worse).
+    """
+
+    def __init__(self) -> None:
+        # name -> kind ("counter" | "gauge" | "histogram")
+        self._kinds: dict[str, str] = {}
+        # name -> {label_key: metric}
+        self._metrics: dict[str, dict[LabelKey, Any]] = {}
+        # name -> histogram bucket override
+        self._buckets: dict[str, tuple[float, ...]] = {}
+
+    # -- declaration ---------------------------------------------------------
+    def declare_histogram(self, name: str, buckets: tuple[float, ...]) -> None:
+        """Pin custom buckets for *name* before (or after first) use."""
+        self._check_kind(name, "histogram")
+        self._buckets[name] = tuple(buckets)
+
+    def _check_kind(self, name: str, kind: str) -> None:
+        bound = self._kinds.get(name)
+        if bound is None:
+            self._kinds[name] = kind
+            self._metrics[name] = {}
+        elif bound != kind:
+            raise TypeError(f"metric {name!r} already registered as {bound}, not {kind}")
+
+    def _series(self, name: str, kind: str, labels: dict[str, Any]) -> Any:
+        self._check_kind(name, kind)
+        key = _label_key(labels)
+        series = self._metrics[name]
+        metric = series.get(key)
+        if metric is None:
+            if kind == "counter":
+                metric = Counter(name)
+            elif kind == "gauge":
+                metric = Gauge(name)
+            else:
+                metric = Histogram(name, buckets=self._buckets.get(name, DEFAULT_BUCKETS_US))
+            series[key] = metric
+        return metric
+
+    # -- recording ------------------------------------------------------------
+    def count(self, name: str, amount: float = 1.0, **labels: Any) -> None:
+        self._series(name, "counter", labels).inc(amount)
+
+    def gauge(self, name: str, value: float, **labels: Any) -> None:
+        self._series(name, "gauge", labels).set(value)
+
+    def gauge_add(self, name: str, delta: float, **labels: Any) -> None:
+        self._series(name, "gauge", labels).add(delta)
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        self._series(name, "histogram", labels).observe(value)
+
+    # -- reading ---------------------------------------------------------------
+    def get(self, name: str, **labels: Any) -> Optional[Any]:
+        series = self._metrics.get(name)
+        if series is None:
+            return None
+        return series.get(_label_key(labels))
+
+    def value(self, name: str, **labels: Any) -> float:
+        """Counter/gauge value, or 0.0 when never recorded."""
+        metric = self.get(name, **labels)
+        if metric is None:
+            return 0.0
+        snap = metric.snapshot()
+        if isinstance(snap, dict):
+            raise TypeError(f"metric {name!r} is a histogram; use get()")
+        return snap
+
+    def names(self) -> list[str]:
+        return sorted(self._kinds)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Nested plain-dict snapshot with fully deterministic ordering.
+
+        Shape: ``{name: {"kind": ..., "series": [{"labels": {...},
+        "value"|"hist": ...}, ...]}}`` — series sorted by label key so two
+        same-seed runs serialize identically.
+        """
+        out: dict[str, Any] = {}
+        for name in sorted(self._kinds):
+            kind = self._kinds[name]
+            series_out = []
+            for key in sorted(self._metrics[name]):
+                metric = self._metrics[name][key]
+                entry: dict[str, Any] = {"labels": dict(key)}
+                if kind == "histogram":
+                    entry["hist"] = metric.snapshot()
+                else:
+                    entry["value"] = metric.snapshot()
+                series_out.append(entry)
+            out[name] = {"kind": kind, "series": series_out}
+        return out
+
+    def render(self, title: str = "metrics") -> str:
+        """Human-readable snapshot table (counters/gauges only, one line
+        per labeled series; histograms summarized as count/sum)."""
+        lines = [f"== {title} ==" if title else "== metrics =="]
+        for name in sorted(self._kinds):
+            kind = self._kinds[name]
+            for key in sorted(self._metrics[name]):
+                metric = self._metrics[name][key]
+                label_txt = ",".join(f"{k}={v}" for k, v in key)
+                suffix = f"{{{label_txt}}}" if label_txt else ""
+                if kind == "histogram":
+                    snap = metric.snapshot()
+                    lines.append(
+                        f"  {name}{suffix}  count={snap['count']} sum={snap['sum']:.1f}"
+                    )
+                else:
+                    lines.append(f"  {name}{suffix}  {metric.snapshot():g}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return sum(len(series) for series in self._metrics.values())

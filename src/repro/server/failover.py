@@ -148,10 +148,18 @@ class HAStreamingService(_BaseService):
     # -- HA plumbing ---------------------------------------------------------
     def _on_any_crash(self) -> None:
         self.meter.mark_fault(self.total_violations)
+        obs = getattr(self.env, "obs", None)
+        if obs is not None:
+            obs.count("ha.faults")
+            obs.instant("ha_fault", track="ha:failover")
 
     def _on_partition(self) -> None:
         self.meter.mark_partition()
         self.meter.mark_detected()
+        obs = getattr(self.env, "obs", None)
+        if obs is not None:
+            obs.count("ha.partitions")
+            obs.instant("ha_partition", track="ha:failover")
 
     @property
     def detection_budget_us(self) -> float:
@@ -206,12 +214,26 @@ class HAStreamingService(_BaseService):
         self._runtime_of[stream_id] = runtime
         if degraded:
             self.degraded_streams.add(stream_id)
+        obs = getattr(self.env, "obs", None)
+        if obs is not None:
+            obs.count("ha.splices", card=runtime.card.name)
+            obs.instant(
+                "ha_splice",
+                track="ha:failover",
+                stream=stream_id,
+                card=runtime.card.name,
+                degraded=degraded,
+            )
         # first checkpoint on the new home
         self.mirror_of(runtime).capture(stream_id)
 
     def park(self, stream_id: str) -> None:
         self.parked_streams.add(stream_id)
         self._runtime_of.pop(stream_id, None)
+        obs = getattr(self.env, "obs", None)
+        if obs is not None:
+            obs.count("ha.parked")
+            obs.instant("ha_park", track="ha:failover", stream=stream_id)
 
     # -- stream setup --------------------------------------------------------
     def open_stream(
@@ -287,6 +309,9 @@ class HAStreamingService(_BaseService):
                     # post-failover media adaptation: a degraded stream
                     # sends anchor frames only
                     self.b_frames_shed += 1
+                    obs = getattr(self.env, "obs", None)
+                    if obs is not None:
+                        obs.count("ha.b_frames_shed", stream=frame.stream_id)
                     continue
                 runtime = yield from self._route(frame.stream_id)
                 if runtime is None:
@@ -322,5 +347,8 @@ class HAStreamingService(_BaseService):
             # the card died between routing and submission; the frame body
             # is already lost with the card's memory
             self.frames_lost_in_migration += 1
+            obs = getattr(self.env, "obs", None)
+            if obs is not None:
+                obs.count("ha.frames_lost_in_migration", stream=frame.stream_id)
             return
         runtime.engine.submit(frame)

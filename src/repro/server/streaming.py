@@ -159,6 +159,9 @@ class _BaseService:
                 got = yield from fs_file.read_next(nbytes)
             except DiskMediaError:
                 self.read_errors += 1
+                obs = getattr(self.env, "obs", None)
+                if obs is not None:
+                    obs.count("producer.read_errors")
                 yield self.env.timeout(wait_us)
                 wait_us *= 2.0
                 continue
@@ -167,6 +170,9 @@ class _BaseService:
                 continue
             return got
         self.frames_skipped += 1
+        obs = getattr(self.env, "obs", None)
+        if obs is not None:
+            obs.count("producer.frames_skipped")
         return 0
 
 
@@ -243,8 +249,11 @@ class SchedulerCardRuntime:
         out and are dropped/accounted by DWCS miss processing on resume.
         """
         self.engine.pause()
+        obs = getattr(self.env, "obs", None)
         for desc in self._txq.items:
             self.frames_lost_to_crash += 1
+            if obs is not None:
+                obs.count("card.frames_lost_to_crash", card=self.card.name)
             alloc = self._frame_allocs.pop(id(desc.frame), None)
             if alloc is not None:
                 alloc.free()
@@ -285,14 +294,29 @@ class SchedulerCardRuntime:
         port = self.card.eth_ports[0]
         while True:
             desc: FrameDescriptor = yield self._txq.get()
+            obs = getattr(self.env, "obs", None)
             if self.card.crashed:
                 # dispatched into the crash window: the frame is lost
                 self.frames_lost_to_crash += 1
+                if obs is not None:
+                    obs.count("card.frames_lost_to_crash", card=self.card.name)
                 alloc = self._frame_allocs.pop(id(desc.frame), None)
                 if alloc is not None:
                     alloc.free()
                 continue
+            sp = (
+                obs.begin(
+                    "stack",
+                    track=f"cpu:{self.card.cpu.name}",
+                    stream=desc.stream_id,
+                    seq=desc.frame.seqno,
+                )
+                if obs is not None
+                else None
+            )
             yield task.compute(self.card.stack.cost_us(desc.size_bytes))
+            if obs is not None:
+                obs.end(sp)
             dest = self._dest_of_stream[desc.stream_id]
             frame = NetFrame(
                 payload_bytes=desc.size_bytes,
@@ -359,11 +383,28 @@ class NIStreamingService(_BaseService):
 
         def producer() -> Generator:
             for i, frame in enumerate(file.frames):
+                obs = getattr(self.env, "obs", None)
+                sid, seq = frame.stream_id, frame.seqno
+                track = f"stream:{sid}"
+                sp = (
+                    obs.begin("read", track=track, stream=sid, seq=seq)
+                    if obs is not None
+                    else None
+                )
                 got = yield from self._read_with_retry(fs_file, frame.size_bytes)
+                if obs is not None:
+                    obs.end(sp, bytes=got)
                 if got == 0:
                     continue  # unreadable after retries: skip the frame
+                if obs is not None:
+                    sp = obs.begin("memwait", track=track, stream=sid, seq=seq)
                 yield from self.runtime._reserve_frame_memory(frame)
+                if obs is not None:
+                    obs.end(sp)
+                    sp = obs.begin("xfer", track=track, stream=sid, seq=seq)
                 yield from producer_card.dma.peer_transfer(frame.size_bytes)
+                if obs is not None:
+                    obs.end(sp)
                 yield from self._submit_with_backpressure(frame)
                 if i >= prebuffer_frames:
                     yield self.env.timeout(inject_gap_us)
@@ -422,10 +463,27 @@ class HostStreamingService(_BaseService):
         port = self.nic.eth_port
         while True:
             desc: FrameDescriptor = yield self._txq.get()
+            obs = getattr(self.env, "obs", None)
+            sid, seq = desc.stream_id, desc.frame.seqno
+            sp = (
+                obs.begin(
+                    "stack",
+                    track=f"cpu:{self.node.host_cpu.name}",
+                    stream=sid,
+                    seq=seq,
+                )
+                if obs is not None
+                else None
+            )
             # protocol processing on the (contended) host CPU
             yield task.compute(self.node.host_stack.cost_us(desc.size_bytes))
+            if obs is not None:
+                obs.end(sp)
+                sp = obs.begin("txbridge", track=f"stream:{sid}", stream=sid, seq=seq)
             # frame body: host memory -> NIC across the bridge
             yield from bridge.transfer(desc.size_bytes)
+            if obs is not None:
+                obs.end(sp)
             dest = self._dest_of_stream[desc.stream_id]
             frame = NetFrame(
                 payload_bytes=desc.size_bytes,
@@ -459,11 +517,28 @@ class HostStreamingService(_BaseService):
 
         def producer(task: Task) -> Generator:
             for i, frame in enumerate(file.frames):
+                obs = getattr(self.env, "obs", None)
+                sid, seq = frame.stream_id, frame.seqno
+                track = f"stream:{sid}"
+                sp = (
+                    obs.begin("read", track=track, stream=sid, seq=seq)
+                    if obs is not None
+                    else None
+                )
                 got = yield from self._read_with_retry(fs_file, frame.size_bytes)
+                if obs is not None:
+                    obs.end(sp, bytes=got)
                 if got == 0:
                     continue  # unreadable after retries: skip the frame
+                if obs is not None:
+                    sp = obs.begin("xfer", track=track, stream=sid, seq=seq)
                 yield from bridge.transfer(frame.size_bytes)
+                if obs is not None:
+                    obs.end(sp)
+                    sp = obs.begin("seg", track=track, stream=sid, seq=seq)
                 yield task.compute(segmentation_us)  # parse/segment the frame
+                if obs is not None:
+                    obs.end(sp)
                 yield from self._submit_with_backpressure(frame)
                 # prebuffer fills fast (but not CPU-saturating); then pace
                 yield self.env.timeout(

@@ -6,6 +6,12 @@ component that accepts one (the DWCS scheduler emits ``decision``,
 the questions raw counters can't — *when* did the drops cluster, what did
 the scheduler pick right before a violation — and export to JSON-lines for
 external tooling.
+
+Beyond point events, the tracer records **spans**: begin/end pairs with
+optional parent links, the substrate of the observability plane's
+per-frame datapath traces (:mod:`repro.obs`). A span begun under a
+filtered-out category costs one predicate check and returns ``None``;
+``end_span(None)`` is a no-op, so instrumented code needs no second guard.
 """
 
 from __future__ import annotations
@@ -18,7 +24,12 @@ from typing import TYPE_CHECKING, Any, Iterable, Optional
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .environment import Environment
 
-__all__ = ["TraceEvent", "Tracer"]
+__all__ = ["TraceEvent", "Tracer", "RESERVED_FIELD_KEYS"]
+
+#: top-level JSONL keys owned by the event envelope; a payload field with
+#: one of these names is exported under an ``f_`` prefix instead of
+#: silently clobbering the timestamp/category/name columns
+RESERVED_FIELD_KEYS = frozenset({"t", "cat", "name"})
 
 
 @dataclass(frozen=True)
@@ -31,12 +42,16 @@ class TraceEvent:
     fields: dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        out: dict[str, Any] = {
             "t": self.time_us,
             "cat": self.category,
             "name": self.name,
-            **self.fields,
         }
+        for key, value in self.fields.items():
+            # namespace collisions with the envelope keys rather than
+            # letting a payload field named 't'/'cat'/'name' overwrite them
+            out[f"f_{key}" if key in RESERVED_FIELD_KEYS else key] = value
+        return out
 
 
 class Tracer:
@@ -69,6 +84,12 @@ class Tracer:
         self._events: deque[TraceEvent] = deque(maxlen=capacity)
         self.emitted = 0
         self.discarded = 0
+        # -- span bookkeeping ------------------------------------------------
+        self._span_seq = 0
+        #: span_id -> (category, name, begin_time_us) for spans not yet ended
+        self._open_spans: dict[int, tuple[str, str, float]] = {}
+        #: end_span calls whose id was unknown or already closed
+        self.unbalanced_ends = 0
 
     # -- recording ----------------------------------------------------------
     def wants(self, category: str) -> bool:
@@ -78,12 +99,68 @@ class Tracer:
     def emit(self, category: str, name: str, **fields: Any) -> None:
         if not self.wants(category):
             return
+        self._record(category, name, fields)
+
+    def _record(self, category: str, name: str, fields: dict[str, Any]) -> None:
         self.emitted += 1
         if len(self._events) == self.capacity:
             self.discarded += 1  # deque drops the oldest on append
         self._events.append(
             TraceEvent(time_us=self.env.now, category=category, name=name, fields=fields)
         )
+
+    # -- spans ---------------------------------------------------------------
+    def begin_span(
+        self,
+        category: str,
+        name: str,
+        parent: Optional[int] = None,
+        **fields: Any,
+    ) -> Optional[int]:
+        """Open a span; returns its id (pass to :meth:`end_span`).
+
+        Returns ``None`` when *category* is filtered out — the matching
+        ``end_span(None)`` is then free, so call sites need one guard only.
+        """
+        if not self.wants(category):
+            return None
+        self._span_seq += 1
+        span_id = self._span_seq
+        self._open_spans[span_id] = (category, name, self.env.now)
+        payload = {**fields, "ph": "B", "span": span_id}
+        if parent is not None:
+            payload["parent"] = parent
+        self._record(category, name, payload)
+        return span_id
+
+    def end_span(self, span_id: Optional[int], **fields: Any) -> None:
+        """Close a span opened by :meth:`begin_span`."""
+        if span_id is None:
+            return
+        opened = self._open_spans.pop(span_id, None)
+        if opened is None:
+            self.unbalanced_ends += 1
+            return
+        category, name, _begin_us = opened
+        self._record(category, name, {**fields, "ph": "E", "span": span_id})
+
+    def instant(self, category: str, name: str, **fields: Any) -> None:
+        """Record a zero-duration marker (rendered as an instant event)."""
+        if not self.wants(category):
+            return
+        self._record(category, name, {**fields, "ph": "i"})
+
+    @property
+    def open_span_count(self) -> int:
+        """Spans begun but not yet ended (unbalanced-span detection)."""
+        return len(self._open_spans)
+
+    def open_spans(self) -> list[tuple[int, str, str, float]]:
+        """``(span_id, category, name, begin_time_us)`` of unclosed spans."""
+        return [
+            (span_id, category, name, begin_us)
+            for span_id, (category, name, begin_us) in sorted(self._open_spans.items())
+        ]
 
     # -- queries --------------------------------------------------------------
     def __len__(self) -> int:
@@ -112,8 +189,23 @@ class Tracer:
         return out
 
     def to_jsonl(self) -> str:
-        """JSON-lines export (one event per line)."""
-        return "\n".join(json.dumps(e.to_dict()) for e in self._events)
+        """JSON-lines export (one event per line, newline-terminated so
+        concatenated exports stay one-event-per-line)."""
+        return "".join(json.dumps(e.to_dict()) + "\n" for e in self._events)
+
+    def dump(self, path) -> int:
+        """Stream the retained events to *path* as JSONL; returns the count.
+
+        Writes line by line — no giant intermediate string — so a
+        full-capacity trace exports in O(1) extra memory.
+        """
+        count = 0
+        with open(path, "w", encoding="utf-8") as fh:
+            for e in self._events:
+                fh.write(json.dumps(e.to_dict()))
+                fh.write("\n")
+                count += 1
+        return count
 
     def __repr__(self) -> str:
         return f"<Tracer {len(self._events)} events (emitted={self.emitted})>"

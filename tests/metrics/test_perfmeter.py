@@ -1,0 +1,33 @@
+"""Perfmeter: utilization sampling stays inside [0, 100]."""
+
+from repro.metrics import Perfmeter
+from repro.sim import Environment, S
+
+
+class JumpyKernel:
+    """Busy counter that overshoots one interval and resets the next."""
+
+    n_cpus = 1
+
+    def __init__(self):
+        # init read, then one sample per period: 200% busy, then a
+        # mid-run counter reset (cumulative busy goes backwards)
+        self._reads = iter([0.0, 2 * S, 0.0])
+
+    def cumulative_busy_us(self) -> float:
+        return next(self._reads)
+
+
+class TestPerfmeterClamp:
+    def test_samples_clamped_to_0_100(self):
+        env = Environment()
+        meter = Perfmeter(env, JumpyKernel(), period_us=1 * S)
+        env.run(until=2.5 * S)
+        assert list(meter.series.values) == [100.0, 0.0]
+
+    def test_peak_never_exceeds_100(self):
+        env = Environment()
+        meter = Perfmeter(env, JumpyKernel(), period_us=1 * S)
+        env.run(until=2.5 * S)
+        assert meter.peak() <= 100.0
+        assert meter.average() >= 0.0

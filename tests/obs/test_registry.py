@@ -1,0 +1,123 @@
+"""MetricsRegistry: counters, gauges, histograms, labels, snapshots."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.registry import DEFAULT_BUCKETS_US, Histogram
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        r = MetricsRegistry()
+        r.count("frames")
+        r.count("frames", 2.0)
+        assert r.value("frames") == 3.0
+
+    def test_labels_are_separate_series(self):
+        r = MetricsRegistry()
+        r.count("frames", stream="s1")
+        r.count("frames", stream="s1")
+        r.count("frames", stream="s2")
+        assert r.value("frames", stream="s1") == 2.0
+        assert r.value("frames", stream="s2") == 1.0
+        assert r.value("frames") == 0.0  # unlabeled series never written
+        assert len(r) == 2
+
+    def test_counter_cannot_decrease(self):
+        r = MetricsRegistry()
+        with pytest.raises(ValueError):
+            r.count("frames", -1.0)
+
+    def test_missing_metric_reads_zero(self):
+        assert MetricsRegistry().value("nope") == 0.0
+
+
+class TestGauges:
+    def test_set_and_add(self):
+        r = MetricsRegistry()
+        r.gauge("depth", 5.0)
+        r.gauge("depth", 3.0)  # last write wins
+        assert r.value("depth") == 3.0
+        r.gauge_add("depth", -1.0)
+        assert r.value("depth") == 2.0
+
+
+class TestKindConflicts:
+    def test_name_bound_to_one_kind(self):
+        r = MetricsRegistry()
+        r.count("x")
+        with pytest.raises(TypeError):
+            r.gauge("x", 1.0)
+        with pytest.raises(TypeError):
+            r.observe("x", 1.0)
+
+    def test_histogram_not_readable_as_scalar(self):
+        r = MetricsRegistry()
+        r.observe("lat", 5.0)
+        with pytest.raises(TypeError):
+            r.value("lat")
+
+
+class TestHistograms:
+    def test_bucket_placement(self):
+        h = Histogram("lat", buckets=(10.0, 100.0))
+        for v in (1.0, 10.0, 50.0, 500.0):
+            h.observe(v)
+        # <=10, <=100, overflow
+        assert h.counts == [2, 1, 1]
+        snap = h.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == 561.0
+        assert snap["min"] == 1.0
+        assert snap["max"] == 500.0
+
+    def test_buckets_must_ascend(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", buckets=(100.0, 10.0))
+
+    def test_declare_custom_buckets(self):
+        r = MetricsRegistry()
+        r.declare_histogram("lat", (1.0, 2.0))
+        r.observe("lat", 1.5)
+        assert r.get("lat").buckets == (1.0, 2.0)
+
+    def test_default_buckets(self):
+        r = MetricsRegistry()
+        r.observe("lat", 5.0)
+        assert r.get("lat").buckets == DEFAULT_BUCKETS_US
+
+
+class TestSnapshot:
+    def test_shape_and_ordering(self):
+        r = MetricsRegistry()
+        r.count("b.frames", stream="s2")
+        r.count("b.frames", stream="s1")
+        r.gauge("a.depth", 4.0)
+        snap = r.snapshot()
+        assert list(snap) == ["a.depth", "b.frames"]  # name-sorted
+        series = snap["b.frames"]["series"]
+        assert [s["labels"] for s in series] == [{"stream": "s1"}, {"stream": "s2"}]
+        assert snap["a.depth"] == {
+            "kind": "gauge",
+            "series": [{"labels": {}, "value": 4.0}],
+        }
+
+    def test_snapshot_is_json_stable(self):
+        def build():
+            r = MetricsRegistry()
+            r.count("frames", stream="s1")
+            r.observe("lat", 12.0)
+            r.gauge("depth", 2.0, card="rd0")
+            return json.dumps(r.snapshot(), sort_keys=True)
+
+        assert build() == build()
+
+    def test_render_lists_every_series(self):
+        r = MetricsRegistry()
+        r.count("frames", stream="s1")
+        r.observe("lat", 12.0)
+        text = r.render("t")
+        assert "frames{stream=s1}" in text
+        assert "lat" in text and "count=1" in text

@@ -66,6 +66,137 @@ class TestTracer:
         lines = t.to_jsonl().splitlines()
         assert json.loads(lines[0]) == {"t": 0.0, "cat": "c", "name": "e", "value": 3}
 
+    def test_jsonl_newline_terminated(self, env):
+        t = Tracer(env)
+        assert t.to_jsonl() == ""  # no events, no stray newline
+        t.emit("c", "a")
+        t.emit("c", "b")
+        text = t.to_jsonl()
+        assert text.endswith("\n")
+        # concatenating two exports must stay one-event-per-line
+        assert len((text + text).splitlines()) == 4
+
+    def test_reserved_payload_keys_namespaced(self, env):
+        t = Tracer(env)
+        env.schedule_callback(3.0, lambda: t.emit("tcp", "rto", t=1.5, cat="x", seq=7))
+        env.run()
+        d = t.events()[0].to_dict()
+        # the envelope columns survive untouched...
+        assert d["t"] == 3.0
+        assert d["cat"] == "tcp"
+        assert d["name"] == "rto"
+        # ...and the colliding payload fields land under the f_ prefix
+        assert d["f_t"] == 1.5
+        assert d["f_cat"] == "x"
+        assert d["seq"] == 7
+
+    def test_reserved_name_key_namespaced(self):
+        from repro.sim.trace import TraceEvent
+
+        # 'name' can't ride emit()'s kwargs (it collides with the
+        # positional parameter) but can reach to_dict via fields directly
+        e = TraceEvent(1.0, "c", "real", fields={"name": "fake"})
+        d = e.to_dict()
+        assert d["name"] == "real"
+        assert d["f_name"] == "fake"
+
+
+class TestAccounting:
+    def test_emitted_and_discarded_track_the_ring(self, env):
+        t = Tracer(env, capacity=10)
+        for i in range(10):
+            t.emit("c", "e", i=i)
+        assert (t.emitted, t.discarded, len(t)) == (10, 0, 10)
+        t.emit("c", "e", i=10)  # first eviction exactly at the boundary
+        assert (t.emitted, t.discarded, len(t)) == (11, 1, 10)
+        for i in range(11, 25):
+            t.emit("c", "e", i=i)
+        assert t.emitted == 25
+        assert t.discarded == 15
+        # invariant: everything emitted is either retained or discarded
+        assert t.emitted - t.discarded == len(t)
+
+    def test_filtered_categories_cost_nothing(self, env):
+        t = Tracer(env, categories=["keep"])
+        for _ in range(5):
+            t.emit("drop", "e")
+        t.instant("drop", "e")
+        assert t.begin_span("drop", "e") is None
+        assert (t.emitted, t.discarded, len(t)) == (0, 0, 0)
+        t.emit("keep", "e")
+        assert (t.emitted, len(t)) == (1, 1)
+
+
+class TestSpans:
+    def test_begin_end_pairing(self, env):
+        t = Tracer(env)
+        sid_holder = {}
+        env.schedule_callback(2.0, lambda: sid_holder.update(s=t.begin_span("span", "read", stream="s1")))
+        env.schedule_callback(7.0, lambda: t.end_span(sid_holder["s"], bytes=100))
+        env.run()
+        begin, end = t.events()
+        assert begin.fields["ph"] == "B"
+        assert end.fields["ph"] == "E"
+        assert begin.fields["span"] == end.fields["span"]
+        assert begin.time_us == 2.0
+        assert end.time_us == 7.0
+        assert t.open_span_count == 0
+        assert t.unbalanced_ends == 0
+
+    def test_parent_link_recorded(self, env):
+        t = Tracer(env)
+        outer = t.begin_span("span", "frame")
+        inner = t.begin_span("span", "read", parent=outer)
+        assert t.events()[1].fields["parent"] == outer
+        t.end_span(inner)
+        t.end_span(outer)
+
+    def test_unbalanced_end_detected(self, env):
+        t = Tracer(env)
+        sid = t.begin_span("span", "x")
+        t.end_span(sid)
+        t.end_span(sid)  # double close
+        t.end_span(999)  # never opened
+        assert t.unbalanced_ends == 2
+
+    def test_end_none_is_noop(self, env):
+        t = Tracer(env)
+        t.end_span(None)
+        assert (len(t), t.unbalanced_ends) == (0, 0)
+
+    def test_open_spans_reported(self, env):
+        t = Tracer(env)
+        sid = t.begin_span("span", "stuck", stream="s1")
+        assert t.open_span_count == 1
+        [(got_id, cat, name, begin_us)] = t.open_spans()
+        assert (got_id, cat, name, begin_us) == (sid, "span", "stuck", 0.0)
+
+    def test_instant_marker(self, env):
+        t = Tracer(env)
+        t.instant("event", "card_crash", card="rd0")
+        [e] = t.events()
+        assert e.fields["ph"] == "i"
+        assert e.fields["card"] == "rd0"
+
+
+class TestDump:
+    def test_dump_streams_jsonl(self, env, tmp_path):
+        t = Tracer(env)
+        for i in range(4):
+            t.emit("c", "e", i=i)
+        path = tmp_path / "events.jsonl"
+        assert t.dump(path) == 4
+        text = path.read_text()
+        assert text == t.to_jsonl()
+        assert text.endswith("\n")
+        assert [json.loads(line)["i"] for line in text.splitlines()] == [0, 1, 2, 3]
+
+    def test_dump_empty_tracer(self, env, tmp_path):
+        t = Tracer(env)
+        path = tmp_path / "empty.jsonl"
+        assert t.dump(path) == 0
+        assert path.read_text() == ""
+
 
 class TestSchedulerTracing:
     def test_decisions_drops_and_violations_traced(self, env):
