@@ -1,0 +1,27 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark entry point (thin wrapper).
+
+Equivalent to ``python -m repro.experiments bench``; exists so the
+benchmark is discoverable next to its checked-in baseline
+(``benchmarks/wallclock_baseline.json``). Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/wallclock.py [--quick] [--reps N]
+
+Writes ``BENCH_sim.json`` at the repository root and exits non-zero if
+any golden digest drifts.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# allow running without PYTHONPATH=src when invoked from the repo root
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

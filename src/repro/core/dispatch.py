@@ -54,7 +54,7 @@ class CoupledDispatcher:
 
     def submit(self, desc: FrameDescriptor, task: Task) -> Generator:
         """Process fragment: dispatch *desc* inline on *task*."""
-        obs = getattr(self.env, "obs", None)
+        obs = self.env.obs
         sp = (
             obs.begin(
                 "dispatch",
@@ -120,7 +120,7 @@ class AsyncDispatcher:
         """The dispatch task: drain the queue forever."""
         while True:
             queued_at, desc = yield self.queue.get()
-            obs = getattr(self.env, "obs", None)
+            obs = self.env.obs
             sp = (
                 obs.begin(
                     "dispatch",

@@ -143,6 +143,9 @@ class DWCSScheduler:
         #: lifetime operation ledger (all cycles)
         self.ops = self.ctx.ops
         self.stats = SchedulerStats()
+        #: per-dispatch op tally of the ratio-call loop, computed lazily on
+        #: the first dispatch (see :meth:`dispatch_ops`)
+        self._dispatch_ratio_delta: Optional[OpCounter] = None
 
     # -- stream management -----------------------------------------------------
     def add_stream(self, spec: StreamSpec) -> StreamState:
@@ -203,7 +206,10 @@ class DWCSScheduler:
     @property
     def backlog(self) -> int:
         """Total packets queued across streams."""
-        return sum(len(q) for q in self.queues.values())
+        total = 0
+        for q in self.queues.values():
+            total += len(q)
+        return total
 
     def queue_depth(self, stream_id: str) -> int:
         return len(self.queues[stream_id])
@@ -288,8 +294,22 @@ class DWCSScheduler:
         """
         before = self.ops.copy()
         self.costs.charge_dispatch(self.ops)
-        for _ in range(self.costs.dispatch_ratio_calls):
-            self.ctx.ratio(1, 2)
+        # The ratio calls exist only for their op tally (the computed value
+        # is discarded), and the tally per call is context-dependent but
+        # constant — so run the loop once against a scratch ledger and
+        # replay the recorded delta on every later dispatch.
+        delta = self._dispatch_ratio_delta
+        if delta is None:
+            scratch = OpCounter()
+            saved = self.ctx.ops
+            self.ctx.ops = scratch
+            try:
+                for _ in range(self.costs.dispatch_ratio_calls):
+                    self.ctx.ratio(1, 2)
+            finally:
+                self.ctx.ops = saved
+            delta = self._dispatch_ratio_delta = scratch
+        self.ops.add(delta)
         return self.ops.snapshot_delta(before)
 
     # -- window adjustments ------------------------------------------------------

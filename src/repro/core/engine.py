@@ -148,7 +148,7 @@ class StreamingEngine:
     def submit(self, frame: MediaFrame, address: int = 0) -> FrameDescriptor:
         """Inject a frame and wake the scheduler task if it is idle."""
         desc = self.scheduler.enqueue(frame, self.env.now, address=address)
-        obs = getattr(self.env, "obs", None)
+        obs = self.env.obs
         if obs is not None:
             sp = obs.begin(
                 "squeue",
@@ -199,7 +199,7 @@ class StreamingEngine:
                 continue
             decision = self.scheduler.schedule(env.now)
             yield task.compute(self.cpu.time_for(decision.ops, self.working_set_bytes))
-            obs = getattr(env, "obs", None)
+            obs = env.obs
             if obs is not None:
                 for dropped in decision.dropped:
                     obs.end(
@@ -267,7 +267,7 @@ class StreamingEngine:
         self.frames_sent[sid] += 1
         self.queuing_delay_us[sid].record(self.env.now, delay)
         self.delay_stats[sid].add(delay)
-        obs = getattr(self.env, "obs", None)
+        obs = self.env.obs
         if obs is not None:
             obs.end(self._squeue_spans.pop(id(desc), None))
             obs.count("engine.frames_dispatched", stream=sid)

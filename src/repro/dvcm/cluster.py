@@ -102,7 +102,7 @@ class DVCMNode:
 
     def _execute(self, request: _Request) -> _Reply:
         self.remote_calls_served += 1
-        obs = getattr(self.env, "obs", None)
+        obs = self.env.obs
         if obs is not None:
             obs.count("dvcm.remote_calls_served", node=self.name)
         # reuse the local message machinery: same handlers, same errors
@@ -152,7 +152,7 @@ class RemoteVCM:
         TCP aborts (retry budget exhausted) while the call is in flight.
         The broken connection is discarded so a later call re-dials.
         """
-        obs = getattr(self.env, "obs", None)
+        obs = self.env.obs
         sp = (
             obs.begin("rpc", track=f"node:{self.name}", fn=function, peer=peer_address)
             if obs is not None
@@ -230,7 +230,7 @@ class RemoteVCM:
             record = yield conn.recv()
             reply = record["data"]
             if isinstance(reply, _Reply):
-                replies.put(reply)
+                replies.put_nowait(reply)
 
     def __repr__(self) -> str:
         return f"<RemoteVCM {self.name!r} peers={sorted(self._conns)} calls={self.calls}>"

@@ -71,7 +71,7 @@ class MessageQueuePair:
         segment before the message becomes visible to the NI.
         """
         message.posted_at = self.env.now
-        obs = getattr(self.env, "obs", None)
+        obs = self.env.obs
         sp = (
             obs.begin(
                 "i2o",
@@ -90,7 +90,7 @@ class MessageQueuePair:
         if obs is not None:
             obs.end(sp)
             obs.count("i2o.posted", queue=self.name)
-        plane = getattr(self.env, "fault_plane", None)
+        plane = self.env.fault_plane
         if plane is not None:
             if plane.message_dropped(self.name):
                 # the frame vanished on the bus: PCI cost paid, nothing
@@ -121,10 +121,10 @@ class MessageQueuePair:
         for _ in range(HEADER_WORDS // 2):
             yield from self.segment.pio_read()
         self.replied += 1
-        obs = getattr(self.env, "obs", None)
+        obs = self.env.obs
         if obs is not None:
             obs.count("i2o.replied", queue=self.name)
-        plane = getattr(self.env, "fault_plane", None)
+        plane = self.env.fault_plane
         if plane is not None:
             if plane.message_dropped(self.name):
                 # reply frame lost on the bus: the host retries the request

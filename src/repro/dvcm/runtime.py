@@ -87,7 +87,7 @@ class VCMRuntime:
         """VxWorks task body: serve messages forever (at-most-once)."""
         while True:
             message: I2OMessage = yield self.queues.receive()
-            obs = getattr(self.env, "obs", None)
+            obs = self.env.obs
             if self.card is not None and self.card.crashed:
                 # wedged firmware: the frame is consumed but never served
                 # (no reply, no compute) — callers hit their timeout or

@@ -4,6 +4,8 @@
     python -m repro.experiments table1 figure7 # run selected experiments
     python -m repro.experiments --list         # show experiment ids
     python -m repro.experiments figure7 --plots out/   # + ASCII plot files
+    python -m repro.experiments bench          # wall-clock benchmark
+    python -m repro.experiments bench --quick  # CI smoke benchmark
 """
 
 from __future__ import annotations
@@ -28,6 +30,12 @@ def _write_artifacts(result: ExperimentResult, directory: Path, name: str) -> No
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "bench":
+        # the benchmark harness owns its own CLI (see bench.py)
+        from .bench import main as bench_main
+
+        return bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",

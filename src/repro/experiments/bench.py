@@ -1,0 +1,223 @@
+"""Wall-clock benchmark harness for the simulation kernel.
+
+Times the headline workloads (Figure 9, chaos, failover, observe) end to
+end — full duration, pinned seed, warm median of N repetitions — and
+writes ``BENCH_sim.json`` at the repository root. Two guarantees ride
+along with the numbers:
+
+* **Fidelity**: before timing is trusted, every golden digest
+  (:data:`~repro.experiments.golden.GOLDEN_IDS`) is recomputed and
+  compared byte-for-byte against ``golden_digests.json``. A drift in any
+  experiment fails the bench — a fast kernel that changes a scheduling
+  decision is a broken kernel.
+* **Provenance**: the pre-optimization baseline medians (measured on the
+  same machine, same protocol, at the commit before the kernel fast-path
+  work) are checked in at ``benchmarks/wallclock_baseline.json`` and
+  copied into ``BENCH_sim.json`` next to the current medians, so the
+  reported speedup is reproducible arithmetic, not a claim.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.experiments bench          # full
+    PYTHONPATH=src python -m repro.experiments bench --quick  # CI smoke
+    PYTHONPATH=src python benchmarks/wallclock.py             # same, script
+
+``--quick`` runs the short-duration workload set and verifies only the
+short digest set — a couple of seconds, suitable for a CI smoke job.
+
+Machine caveat: wall-clock numbers are only comparable against a baseline
+measured on the same machine. The digest verification, by contrast, is
+machine-independent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+from pathlib import Path
+from typing import Optional
+
+from . import golden
+
+__all__ = ["WORKLOADS", "run_bench", "main"]
+
+#: seed every benchmark workload is pinned to (matches the golden set)
+BENCH_SEED = 42
+
+#: repo root (src/repro/experiments/bench.py -> three parents up from src/)
+_REPO_ROOT = Path(__file__).resolve().parents[3]
+
+#: default output path for the benchmark report
+DEFAULT_OUT = _REPO_ROOT / "BENCH_sim.json"
+
+#: checked-in pre-optimization medians (same machine/protocol provenance)
+BASELINE_PATH = _REPO_ROOT / "benchmarks" / "wallclock_baseline.json"
+
+#: the timed workloads: name -> experiment id run at full duration
+WORKLOADS = ("figure9", "chaos", "failover", "observe")
+
+#: the workload the >=1.5x acceptance target is pinned to
+HEADLINE = "figure9"
+
+
+#: the child timing program. Runs in a FRESH interpreter per workload so
+#: one workload's heap growth (or the digest verification pass) cannot
+#: leak into another's timings. Uses only the experiment REGISTRY +
+#: inspect, so the identical program also times historical checkouts
+#: (that is how the checked-in baseline was captured — see
+#: ``benchmarks/wallclock_baseline.json``).
+_CHILD_PROGRAM = r"""
+import inspect, json, statistics, sys, time
+from repro.experiments import REGISTRY
+
+name, seed, duration, reps = (
+    sys.argv[1], int(sys.argv[2]), sys.argv[3], int(sys.argv[4])
+)
+runner = REGISTRY[name]
+params = inspect.signature(runner).parameters
+kwargs = {}
+if "seed" in params:
+    kwargs["seed"] = seed
+if duration != "none" and "duration_us" in params:
+    kwargs["duration_us"] = float(duration)
+if "out_dir" in params:
+    kwargs["out_dir"] = None
+runner(**kwargs)  # warm: imports, allocator steady state, branch caches
+samples = []
+for _ in range(reps):
+    t0 = time.perf_counter()
+    runner(**kwargs)
+    samples.append(time.perf_counter() - t0)
+print(json.dumps(
+    {"median_s": statistics.median(samples), "samples_s": samples, "reps": reps}
+))
+"""
+
+
+def time_workload_isolated(
+    name: str, reps: int, quick: bool = False, src_dir: Optional[Path] = None
+) -> dict:
+    """Time one workload in a fresh interpreter; returns the timing dict.
+
+    ``src_dir`` points the child at an alternative source tree (used to
+    re-capture the baseline from the pre-optimization commit with the
+    exact same measurement program).
+    """
+    duration = str(golden.SHORT_DURATION_US) if quick else "none"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(src_dir if src_dir is not None else _REPO_ROOT / "src")
+    out = subprocess.run(
+        [sys.executable, "-c", _CHILD_PROGRAM, name, str(BENCH_SEED), duration, str(reps)],
+        check=True,
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def _verify_digests(quick: bool) -> dict[str, str]:
+    """Recompute the golden digests; returns name -> 'identical'|'drift'."""
+    goldens = golden.load_goldens()
+    section = "short" if quick else "full"
+    duration = golden.SHORT_DURATION_US if quick else None
+    verdicts: dict[str, str] = {}
+    for name, want in goldens[section]["digests"].items():
+        got = golden.compute_digest(
+            name, seed=BENCH_SEED, duration_us=duration, out_dir=None
+        )
+        verdicts[name] = "identical" if got == want else "drift"
+    return verdicts
+
+
+def run_bench(
+    reps: int = 5, quick: bool = False, out_path: Optional[Path] = None
+) -> dict:
+    """Run the benchmark; writes the report and returns it as a dict.
+
+    Raises :class:`RuntimeError` if any golden digest drifts — wall-clock
+    numbers for a behaviourally different simulation are meaningless.
+    """
+    out_path = Path(out_path) if out_path is not None else DEFAULT_OUT
+
+    current: dict[str, dict] = {}
+    for name in WORKLOADS:
+        print(f"timing {name} ({reps} reps{', quick' if quick else ''}, isolated)...")
+        current[name] = time_workload_isolated(name, reps, quick=quick)
+        print(f"  median {current[name]['median_s']:.3f} s")
+
+    print(f"verifying golden digests ({'short' if quick else 'full'} set)...")
+    digests = _verify_digests(quick)
+    drifted = sorted(n for n, v in digests.items() if v == "drift")
+    for name, verdict in sorted(digests.items()):
+        print(f"  {name:10s} {verdict}")
+
+    baseline = None
+    speedup = None
+    if not quick and BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+        speedup = {
+            name: baseline["workloads"][name]["median_s"] / current[name]["median_s"]
+            for name in WORKLOADS
+            if name in baseline.get("workloads", {})
+        }
+
+    report = {
+        "seed": BENCH_SEED,
+        "quick": quick,
+        "protocol": "fresh interpreter per workload; 1 warm run + median of N reps",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "digests": digests,
+        "workloads": current,
+        "baseline": baseline,
+        "speedup": speedup,
+        "headline": HEADLINE,
+    }
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+    if speedup is not None:
+        for name in WORKLOADS:
+            if name in speedup:
+                print(f"  speedup {name:10s} {speedup[name]:.2f}x")
+
+    if drifted:
+        raise RuntimeError(
+            f"golden digest drift in: {', '.join(drifted)} — simulated outputs "
+            "changed; timings are not comparable (and the kernel is wrong)"
+        )
+    return report
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments bench",
+        description="Wall-clock benchmark + golden-digest verification.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="short-duration workloads + short digest set (CI smoke)",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=5, metavar="N", help="timed repetitions"
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", default=None, help="report path (default: BENCH_sim.json)"
+    )
+    args = parser.parse_args(argv)
+    try:
+        run_bench(reps=args.reps, quick=args.quick, out_path=args.out)
+    except RuntimeError as err:
+        print(f"FAIL: {err}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

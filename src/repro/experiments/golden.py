@@ -1,0 +1,204 @@
+"""Golden digests: compact fingerprints of experiment outputs.
+
+The perf work on the simulation kernel claims to be *bit-identical*: a
+faster event loop, hook table, or memoized cost conversion must not move a
+single scheduling decision or delivered byte. The proof is a digest — a
+SHA-256 over a canonical serialization of everything an experiment
+reports (rows, series arrays, notes) — checked into the repository
+(``golden_digests.json`` next to this module) and recomputed by the
+regression tests and the wall-clock benchmark harness.
+
+Two digest sets are kept:
+
+* ``full`` — every headline experiment (tables 1–5, figures 6–10, chaos,
+  failover, observe) at the paper's full 100-simulated-second duration,
+  seed 42. Verified by ``python -m repro.experiments bench``.
+* ``short`` — figure9 / chaos / failover at a 10-simulated-second
+  duration, seed 42. Cheap enough for the tier-1 test suite
+  (``tests/experiments/test_golden_digests.py``).
+
+Refreshing after an *intentional* behaviour change::
+
+    PYTHONPATH=src python -m repro.experiments.golden --refresh short
+    PYTHONPATH=src python -m repro.experiments.golden --refresh full
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .report import ExperimentResult
+
+__all__ = [
+    "GOLDEN_IDS",
+    "SHORT_IDS",
+    "SHORT_DURATION_US",
+    "result_digest",
+    "trace_digest",
+    "compute_result",
+    "compute_digest",
+    "load_goldens",
+    "save_goldens",
+]
+
+#: every experiment the bench harness pins byte-for-byte (full duration)
+GOLDEN_IDS = (
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "chaos",
+    "failover",
+    "observe",
+)
+
+#: the scaled-down set the tier-1 suite recomputes on every run
+SHORT_IDS = ("figure9", "chaos", "failover")
+
+#: 10 simulated seconds: long enough for streams to settle and every
+#: chaos/failover fault window to open and clear, short enough for CI
+SHORT_DURATION_US = 10_000_000.0
+
+_GOLDEN_PATH = Path(__file__).with_name("golden_digests.json")
+
+
+def result_digest(result: "ExperimentResult") -> str:
+    """SHA-256 over a canonical serialization of *result*.
+
+    Floats go through ``repr`` (exact round-trip), series arrays as raw
+    float64 bytes — any single-bit drift in a computed value changes the
+    digest.
+    """
+    h = hashlib.sha256()
+
+    def feed(text: str) -> None:
+        h.update(text.encode("utf-8"))
+        h.update(b"\x00")
+
+    feed(result.exp_id)
+    feed(result.title)
+    for r in result.rows:
+        feed(r.label)
+        feed(repr(r.measured))
+        feed(r.unit)
+        feed(repr(r.paper))
+        feed(r.note)
+    for s in result.series:
+        feed(s.name)
+        feed(s.x_label)
+        feed(s.y_label)
+        h.update(s.x.astype(float).tobytes())
+        h.update(s.y.astype(float).tobytes())
+    for note in result.notes:
+        feed(note)
+    return h.hexdigest()
+
+
+def trace_digest(tracer) -> str:
+    """SHA-256 of the sorted event log of a :class:`~repro.sim.trace.Tracer`.
+
+    Events are serialized to sorted-key JSON and sorted as strings, so the
+    digest is insensitive to emission order but pinned to every timestamp
+    and field value.
+    """
+    lines = sorted(
+        json.dumps(ev.to_dict(), sort_keys=True, default=repr)
+        for ev in tracer.events()
+    )
+    h = hashlib.sha256()
+    for line in lines:
+        h.update(line.encode("utf-8"))
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def compute_result(
+    name: str,
+    seed: int = 42,
+    duration_us: Optional[float] = None,
+    **overrides,
+) -> "ExperimentResult":
+    """Run one registered experiment, passing only the kwargs it accepts."""
+    from . import REGISTRY
+
+    runner = REGISTRY[name]
+    params = inspect.signature(runner).parameters
+    kwargs = {}
+    if "seed" in params:
+        kwargs["seed"] = seed
+    if duration_us is not None and "duration_us" in params:
+        kwargs["duration_us"] = duration_us
+    for key, value in overrides.items():
+        if key in params:
+            kwargs[key] = value
+    return runner(**kwargs)
+
+
+def compute_digest(
+    name: str,
+    seed: int = 42,
+    duration_us: Optional[float] = None,
+    **overrides,
+) -> str:
+    return result_digest(
+        compute_result(name, seed=seed, duration_us=duration_us, **overrides)
+    )
+
+
+def load_goldens() -> dict:
+    """The checked-in digest file ({} when absent, e.g. mid-refresh)."""
+    if not _GOLDEN_PATH.exists():
+        return {}
+    return json.loads(_GOLDEN_PATH.read_text())
+
+
+def save_goldens(goldens: dict) -> None:
+    _GOLDEN_PATH.write_text(json.dumps(goldens, indent=2, sort_keys=True) + "\n")
+
+
+def refresh(which: str = "short", seed: int = 42, verbose: bool = True) -> dict:
+    """Recompute and store one digest set; returns the updated file dict."""
+    goldens = load_goldens()
+    if which == "short":
+        ids, duration = SHORT_IDS, SHORT_DURATION_US
+    elif which == "full":
+        ids, duration = GOLDEN_IDS, None
+    else:
+        raise ValueError("which must be 'short' or 'full'")
+    digests = {}
+    for name in ids:
+        # artifacts stay off disk during digest runs: the digest covers the
+        # result object, not the exporter side effects
+        digests[name] = compute_digest(
+            name, seed=seed, duration_us=duration, out_dir=None
+        )
+        if verbose:
+            print(f"{which}:{name} = {digests[name]}")
+    goldens[which] = {
+        "seed": seed,
+        "duration_us": duration,
+        "digests": digests,
+    }
+    save_goldens(goldens)
+    return goldens
+
+
+if __name__ == "__main__":  # pragma: no cover - maintenance CLI
+    import argparse
+
+    parser = argparse.ArgumentParser(description="refresh golden digests")
+    parser.add_argument("--refresh", choices=["short", "full"], required=True)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+    refresh(args.refresh, seed=args.seed)

@@ -1,8 +1,9 @@
 """The fault plane: seeded, windowed fault injection for hardware models.
 
-A :class:`FaultPlane` installs itself on the simulation environment
-(``env.fault_plane``); instrumented components look it up with ``getattr``
-so an environment without a plane pays nothing. Faults are *windows*: a
+A :class:`FaultPlane` installs itself into the environment's pre-resolved
+hook slot (``env.fault_plane``, ``None`` by default); instrumented
+components read the attribute directly, so an environment without a plane
+pays one attribute load per hook. Faults are *windows*: a
 kind, an ``fnmatch`` pattern over component names, a ``[start, end)`` time
 range, and a rate or latency term. All stochastic draws come from named
 :class:`~repro.sim.RandomStreams` substreams under one seed, and draws
@@ -67,7 +68,7 @@ class FaultPlane:
     """Deterministic fault scheduler + injection oracle for one run."""
 
     def __init__(self, env: Environment, seed: int = 0, tracer=None) -> None:
-        if getattr(env, "fault_plane", None) is not None:
+        if env.fault_plane is not None:
             raise RuntimeError("environment already has a fault plane installed")
         self.env = env
         self.seed = int(seed)
@@ -77,7 +78,7 @@ class FaultPlane:
         self._windows: list[FaultWindow] = []
         #: injections actually fired, by kind (for reports and tests)
         self.injected: dict[str, int] = {}
-        env.fault_plane = self  # type: ignore[attr-defined]
+        env.fault_plane = self
 
     # -- scheduling ---------------------------------------------------------
     def add_window(self, window: FaultWindow) -> FaultWindow:
@@ -273,7 +274,7 @@ class FaultPlane:
 
     def _count(self, kind: str) -> None:
         self.injected[kind] = self.injected.get(kind, 0) + 1
-        obs = getattr(self.env, "obs", None)
+        obs = self.env.obs
         if obs is not None:
             obs.count("faults.injected", kind=kind)
 
@@ -281,7 +282,7 @@ class FaultPlane:
         tracer = self.tracer
         if tracer is None:
             # no explicit tracer wired: ride the observability plane's
-            obs = getattr(self.env, "obs", None)
+            obs = self.env.obs
             tracer = obs.tracer if obs is not None else None
         if tracer is not None and tracer.wants("fault"):
             tracer.emit("fault", name, **fields)

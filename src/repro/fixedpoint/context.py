@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+from .fixed import FixedQ16
 from .fraction import Fraction
 from .opcount import OpCounter
 
@@ -111,6 +112,4 @@ class FixedPointContext(ArithmeticContext):
         self.ops.shifts += 1
         if den <= 0:
             raise ZeroDivisionError("ratio denominator must be positive")
-        from .fixed import FixedQ16
-
         return FixedQ16.from_fraction(num, den).to_float()

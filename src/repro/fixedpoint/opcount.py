@@ -22,9 +22,25 @@ Operation classes mirror what mattered on the paper's hardware:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import dataclass
 
 __all__ = ["OpCounter"]
+
+#: field names in declaration order — also the layout of :meth:`as_tuple`.
+#: Kept as a static tuple so the hot accumulation paths (one ``add`` per
+#: scheduling cycle, plus a copy and a delta) skip ``dataclasses.fields``
+#: reflection entirely.
+_FIELDS = (
+    "int_ops",
+    "fp_ops",
+    "shifts",
+    "divides",
+    "mem_reads",
+    "mem_writes",
+    "mmio_reads",
+    "mmio_writes",
+    "branches",
+)
 
 
 @dataclass
@@ -43,38 +59,73 @@ class OpCounter:
 
     def add(self, other: "OpCounter") -> None:
         """Accumulate *other* into this counter in place."""
-        for f in fields(self):
-            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        self.int_ops += other.int_ops
+        self.fp_ops += other.fp_ops
+        self.shifts += other.shifts
+        self.divides += other.divides
+        self.mem_reads += other.mem_reads
+        self.mem_writes += other.mem_writes
+        self.mmio_reads += other.mmio_reads
+        self.mmio_writes += other.mmio_writes
+        self.branches += other.branches
 
     def __iadd__(self, other: "OpCounter") -> "OpCounter":
         self.add(other)
         return self
 
     def __add__(self, other: "OpCounter") -> "OpCounter":
-        result = OpCounter()
-        result.add(self)
+        result = self.copy()
         result.add(other)
         return result
 
     def copy(self) -> "OpCounter":
-        out = OpCounter()
-        out.add(self)
-        return out
+        return OpCounter(
+            self.int_ops,
+            self.fp_ops,
+            self.shifts,
+            self.divides,
+            self.mem_reads,
+            self.mem_writes,
+            self.mmio_reads,
+            self.mmio_writes,
+            self.branches,
+        )
 
     def reset(self) -> None:
-        for f in fields(self):
-            setattr(self, f.name, 0)
+        for name in _FIELDS:
+            setattr(self, name, 0)
 
     def total(self) -> int:
         """Total operation count across all classes."""
-        return sum(getattr(self, f.name) for f in fields(self))
+        return sum(self.as_tuple())
+
+    def as_tuple(self) -> tuple[int, ...]:
+        """The tally as a tuple in ``_FIELDS`` order (hashable cache key)."""
+        return (
+            self.int_ops,
+            self.fp_ops,
+            self.shifts,
+            self.divides,
+            self.mem_reads,
+            self.mem_writes,
+            self.mmio_reads,
+            self.mmio_writes,
+            self.branches,
+        )
 
     def snapshot_delta(self, since: "OpCounter") -> "OpCounter":
         """Counter holding this minus *since* (for scoped measurements)."""
-        delta = OpCounter()
-        for f in fields(delta):
-            setattr(delta, f.name, getattr(self, f.name) - getattr(since, f.name))
-        return delta
+        return OpCounter(
+            self.int_ops - since.int_ops,
+            self.fp_ops - since.fp_ops,
+            self.shifts - since.shifts,
+            self.divides - since.divides,
+            self.mem_reads - since.mem_reads,
+            self.mem_writes - since.mem_writes,
+            self.mmio_reads - since.mmio_reads,
+            self.mmio_writes - since.mmio_writes,
+            self.branches - since.branches,
+        )
 
     def as_dict(self) -> dict[str, int]:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        return {name: getattr(self, name) for name in _FIELDS}

@@ -74,7 +74,7 @@ class HeartbeatEmitter:
             if self.card.crashed:
                 continue
             self.beats_sent += 1
-            obs = getattr(self.env, "obs", None)
+            obs = self.env.obs
             if obs is not None:
                 obs.count("heartbeat.beats_sent", card=self.card.name)
             yield from self.queues.reply(

@@ -81,7 +81,7 @@ class Watchdog:
             self._mean_gap_us += 0.2 * (gap - self._mean_gap_us)
         self.last_beat_us = self.env.now
         self.beats += 1
-        obs = getattr(self.env, "obs", None)
+        obs = self.env.obs
         if obs is not None:
             obs.count("watchdog.beats", card=self.card.name)
         if self.state == "partitioned":
@@ -122,7 +122,7 @@ class Watchdog:
                 yield self.env.timeout(self.deadline_us - now)
                 continue
             self.suspicions += 1
-            obs = getattr(self.env, "obs", None)
+            obs = self.env.obs
             if obs is not None:
                 obs.count("watchdog.suspicions", card=self.card.name)
             alive = yield from self.card.status_probe()

@@ -60,7 +60,7 @@ class Bus:
         if nbytes <= 0:
             raise ValueError("transfer size must be positive")
         start = self.env.now
-        obs = getattr(self.env, "obs", None)
+        obs = self.env.obs
         sp = (
             obs.begin("bus", track=f"bus:{self.name}", bytes=nbytes)
             if obs is not None

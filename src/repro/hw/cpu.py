@@ -65,6 +65,10 @@ class CPUSpec:
 class CPU:
     """A processor instance: spec + data-cache state + cycle accounting."""
 
+    #: memo entries kept per CPU; DWCS inner loops cycle through a small
+    #: set of distinct op vectors, so this is never approached in practice
+    _MEMO_LIMIT = 65536
+
     def __init__(
         self,
         spec: CPUSpec,
@@ -76,23 +80,39 @@ class CPU:
         self.name = name or spec.name
         #: total cycles charged through this CPU (for reporting)
         self.cycles_charged = 0.0
+        # (effective hit ratio, op tuple) -> cycles. The hit ratio folds in
+        # every piece of mutable cache state (enabled flag, working set), so
+        # a memo hit returns the exact float the full computation would —
+        # the golden digests pin this bit-for-bit.
+        self._cycles_memo: dict[tuple[float, tuple[int, ...]], float] = {}
 
     # -- cost conversion -------------------------------------------------------
     def cycles_for(self, ops: OpCounter, working_set_bytes: int | None = None) -> float:
-        """Cycle cost of an operation tally under current cache state."""
-        s = self.spec
-        fp_cost = s.fp_op_cycles if s.has_fpu else s.fp_emulation_cycles
+        """Cycle cost of an operation tally under current cache state.
+
+        The DWCS inner loop converts the same handful of (op-vector,
+        cache-state) pairs thousands of times per run; repeats are served
+        from a per-CPU memo table.
+        """
         hit = self.cache.effective_hit_ratio(working_set_bytes)
-        mem_cost = hit * s.mem_cached_cycles + (1.0 - hit) * s.mem_uncached_cycles
-        cycles = (
-            ops.int_ops * s.int_op_cycles
-            + ops.shifts * s.shift_cycles
-            + ops.divides * s.divide_cycles
-            + ops.branches * s.branch_cycles
-            + ops.fp_ops * fp_cost
-            + (ops.mem_reads + ops.mem_writes) * mem_cost
-            + (ops.mmio_reads + ops.mmio_writes) * s.mmio_cycles
-        )
+        key = (hit, ops.as_tuple())
+        memo = self._cycles_memo
+        cycles = memo.get(key)
+        if cycles is None:
+            s = self.spec
+            fp_cost = s.fp_op_cycles if s.has_fpu else s.fp_emulation_cycles
+            mem_cost = hit * s.mem_cached_cycles + (1.0 - hit) * s.mem_uncached_cycles
+            cycles = (
+                ops.int_ops * s.int_op_cycles
+                + ops.shifts * s.shift_cycles
+                + ops.divides * s.divide_cycles
+                + ops.branches * s.branch_cycles
+                + ops.fp_ops * fp_cost
+                + (ops.mem_reads + ops.mem_writes) * mem_cost
+                + (ops.mmio_reads + ops.mmio_writes) * s.mmio_cycles
+            )
+            if len(memo) < self._MEMO_LIMIT:
+                memo[key] = cycles
         return cycles
 
     def time_for(self, ops: OpCounter, working_set_bytes: int | None = None) -> float:

@@ -106,7 +106,7 @@ class SCSIDisk:
         if nbytes <= 0:
             raise ValueError("I/O size must be positive")
         start = self.env.now
-        obs = getattr(self.env, "obs", None)
+        obs = self.env.obs
         sp = (
             obs.begin(
                 "disk_io",
@@ -125,7 +125,7 @@ class SCSIDisk:
                 and offset == self._last_end_offset
             )
             access_us = self.access_time_us(nbytes, sequential)
-            plane = getattr(self.env, "fault_plane", None)
+            plane = self.env.fault_plane
             if plane is not None:
                 access_us += plane.disk_delay_us(self.name, access_us)
                 if plane.disk_error(self.name):

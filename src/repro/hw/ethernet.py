@@ -121,7 +121,7 @@ class EthernetPort:
         if self.switch is None:
             raise RuntimeError(f"port {self.name!r} not attached to a switch")
         frame.sent_at = self.env.now
-        obs = getattr(self.env, "obs", None)
+        obs = self.env.obs
         sp = None
         if obs is not None:
             fields = {"bytes": frame.payload_bytes, "dest": dest}
@@ -191,14 +191,14 @@ class EthernetSwitch:
         except KeyError:
             raise KeyError(f"no port {dest!r} on switch {self.name!r}") from None
         yield self.env.timeout(self.latency_us)
-        obs = getattr(self.env, "obs", None)
+        obs = self.env.obs
         if self.loss_rate > 0.0 and self._loss_rng is not None:
             if self._loss_rng.random() < self.loss_rate:
                 self.frames_dropped += 1
                 if obs is not None:
                     obs.count("switch.frames_dropped", dest=dest)
                 return  # frame vanishes (congestion drop)
-        plane = getattr(self.env, "fault_plane", None)
+        plane = self.env.fault_plane
         if plane is not None and plane.frame_lost(dest):
             self.frames_dropped += 1
             if obs is not None:

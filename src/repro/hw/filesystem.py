@@ -51,7 +51,7 @@ class File:
         if self.eof:
             return 0
         nbytes = min(nbytes, self.size_bytes - self.offset)
-        obs = getattr(self.fs.env, "obs", None)
+        obs = self.fs.env.obs
         sp = (
             obs.begin(
                 "fs",
@@ -128,7 +128,7 @@ class UFS(Filesystem):
         first_block = offset // self.BLOCK_BYTES
         last_block = (offset + nbytes - 1) // self.BLOCK_BYTES
         cached_through = self._cached_through.get(file.name, -1)
-        obs = getattr(self.env, "obs", None)
+        obs = self.env.obs
         for block in range(first_block, last_block + 1):
             if block <= cached_through:
                 self.cache_hits += 1
@@ -183,7 +183,7 @@ class DosFS(Filesystem):
             # disjoint from the data — a full random access.
             self.fat_accesses += 1
             self.disk_accesses += 1
-            obs = getattr(self.env, "obs", None)
+            obs = self.env.obs
             if obs is not None:
                 obs.count("fs.fat_accesses", fs=self.fstype)
             yield from self.disk.read(512)  # offset=None -> random

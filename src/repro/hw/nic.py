@@ -112,7 +112,7 @@ class I960RDCard:
             return
         self.crashed = True
         self.crash_count += 1
-        obs = getattr(self.env, "obs", None)
+        obs = self.env.obs
         if obs is not None:
             obs.count("nic.crashes", card=self.name)
             obs.instant("card_crash", track=f"card:{self.name}", card=self.name)
@@ -124,7 +124,7 @@ class I960RDCard:
         if not self.crashed:
             return
         self.crashed = False
-        obs = getattr(self.env, "obs", None)
+        obs = self.env.obs
         if obs is not None:
             obs.count("nic.resets", card=self.name)
             obs.instant("card_reset", track=f"card:{self.name}", card=self.name)

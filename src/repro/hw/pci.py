@@ -74,7 +74,7 @@ class PCISegment(Bus):
             yield self.env.timeout(cost_us)
         self.bytes_transferred += self.width_bytes
         self.transactions += 1
-        obs = getattr(self.env, "obs", None)
+        obs = self.env.obs
         if obs is not None:
             obs.count("pci.pio_ops", bus=self.name)
             obs.observe("pci.pio_us", self.env.now - start, bus=self.name)
@@ -99,7 +99,7 @@ class PCIBridge:
     ) -> Generator[Event, None, float]:
         """Process: move *nbytes* between host memory and a device."""
         start = self.env.now
-        obs = getattr(self.env, "obs", None)
+        obs = self.env.obs
         sp = (
             obs.begin("bridge", track=f"bus:{self.segment.name}", bytes=nbytes)
             if obs is not None
@@ -141,7 +141,7 @@ class DMAEngine:
         """Process: card-to-card DMA on the local segment (no host involved)."""
         latency = yield from self.segment.transfer(nbytes, priority=priority)
         self.bytes_moved += nbytes
-        obs = getattr(self.env, "obs", None)
+        obs = self.env.obs
         if obs is not None:
             obs.count("dma.peer_bytes", nbytes, segment=self.segment.name)
         return latency
@@ -154,7 +154,7 @@ class DMAEngine:
             raise ValueError("bridge does not serve this card's segment")
         latency = yield from bridge.transfer(nbytes, priority=priority)
         self.bytes_moved += nbytes
-        obs = getattr(self.env, "obs", None)
+        obs = self.env.obs
         if obs is not None:
             obs.count("dma.host_bytes", nbytes, segment=self.segment.name)
         return latency

@@ -220,7 +220,7 @@ class TCPConnection:
                     return
                 outstanding = sorted(self._segments)
                 self.retransmissions += len(outstanding)
-                obs = getattr(env, "obs", None)
+                obs = env.obs
                 if obs is not None:
                     obs.count(
                         "tcp.retransmissions",
@@ -259,7 +259,7 @@ class TCPConnection:
         tracer = self.stack.tracer
         if tracer is None:
             # no explicit tracer wired: ride the observability plane's
-            obs = getattr(self.env, "obs", None)
+            obs = self.env.obs
             tracer = obs.tracer if obs is not None else None
         if tracer is not None and tracer.wants("tcp"):
             tracer.emit("tcp", name, port=self.local_port, **fields)
@@ -343,7 +343,7 @@ class TCPConnection:
             parts.append(seg)
             if len(parts) == seg.record_segments:
                 del self._assembling[seg.record_id]
-                self.inbox.put(
+                self.inbox.put_nowait(
                     {
                         "nbytes": sum(p.payload_bytes for p in parts),
                         "data": parts[-1].data,
@@ -473,7 +473,7 @@ class TCPStack:
         )
 
     def _transmit(self, seg: Segment, dest_host: str) -> Generator[Event, None, None]:
-        obs = getattr(self.env, "obs", None)
+        obs = self.env.obs
         sp = (
             obs.begin(
                 "stack",
@@ -546,7 +546,7 @@ class TCPStack:
                 conn._sender(), name=f"{self.name}:{seg.dst_port}.sender"
             )
             self._connections[key] = conn
-            accept.put(conn)
+            accept.put_nowait(conn)
         # (re)confirm — SYNACK retransmit-safe
         self.env.process(
             self._transmit(

@@ -87,7 +87,7 @@ class UDPStack:
         """Process: transmit one datagram (no delivery guarantee)."""
         if payload_bytes <= 0:
             raise ValueError("payload must be positive")
-        obs = getattr(self.env, "obs", None)
+        obs = self.env.obs
         sp = (
             obs.begin(
                 "stack",
@@ -101,7 +101,7 @@ class UDPStack:
         yield self.env.timeout(self.stack.cost_us(payload_bytes))
         if obs is not None:
             obs.end(sp)
-        plane = getattr(self.env, "fault_plane", None)
+        plane = self.env.fault_plane
         if plane is not None and plane.datagram_dropped(self.name):
             self.datagrams_dropped += 1
             if obs is not None:
@@ -146,7 +146,7 @@ class UDPStack:
                 self.no_socket_drops += 1
                 continue
             self.datagrams_received += 1
-            queue.put(meta)
+            queue.put_nowait(meta)
 
     def __repr__(self) -> str:
         return (

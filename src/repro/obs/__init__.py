@@ -1,10 +1,10 @@
 """Observability plane: datapath spans, metrics registry, latency breakdown.
 
-The plane (:class:`ObservabilityPlane`) installs itself as ``env.obs``;
-instrumented components look it up at call time with
-``getattr(self.env, "obs", None)`` — the same late-binding pattern the
-fault plane uses — so an uninstrumented run pays one attribute probe per
-hook and records nothing.
+The plane (:class:`ObservabilityPlane`) installs itself into the
+environment's pre-resolved hook slot (``env.obs``, ``None`` by default);
+instrumented components read ``self.env.obs`` at call time, so an
+uninstrumented run pays one plain attribute load per hook and records
+nothing.
 """
 
 from .breakdown import CriticalPath, HopStats, LatencyBreakdown

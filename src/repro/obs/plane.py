@@ -2,16 +2,18 @@
 
 Instrumented code follows one pattern everywhere::
 
-    obs = getattr(self.env, "obs", None)
+    obs = self.env.obs
     sp = obs.begin("read", track="disk:sd0", stream=sid, seq=n) if obs else None
     ...  # the timed work
     if obs:
         obs.end(sp, bytes=frame.size_bytes)
 
-With no plane attached the hook costs a single ``getattr`` returning
-``None``. With a plane attached but the span category filtered out,
-``begin`` returns ``None`` and ``end(None)`` is a no-op — the same
-near-zero-cost contract the fault plane and ``Tracer.wants`` already set.
+``Environment.__init__`` pre-resolves the hook slot to ``None``, so with
+no plane attached every datapath hook costs one plain attribute load (no
+``getattr``-with-default machinery). With a plane attached but the span
+category filtered out, ``begin`` returns ``None`` and ``end(None)`` is a
+no-op — the same near-zero-cost contract the fault plane and
+``Tracer.wants`` already set.
 
 Span events live in category ``"span"``; instant markers (crashes,
 failovers, drops) in ``"event"``. Both ride the ordinary
@@ -61,13 +63,14 @@ class ObservabilityPlane:
         self.registry = MetricsRegistry()
 
     def install(self) -> "ObservabilityPlane":
-        """Bind as ``env.obs`` (idempotent) and return self."""
-        self.env.obs = self  # type: ignore[attr-defined]
+        """Bind into the environment's hook slot (idempotent)."""
+        self.env.obs = self
         return self
 
     def uninstall(self) -> None:
-        if getattr(self.env, "obs", None) is self:
-            del self.env.obs  # type: ignore[attr-defined]
+        """Clear the hook slot (back to the uninstrumented ``None``)."""
+        if self.env.obs is self:
+            self.env.obs = None
 
     # -- spans ----------------------------------------------------------------
     def begin(

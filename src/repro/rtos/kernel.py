@@ -100,10 +100,11 @@ class OSKernel:
 
     # -- submission -------------------------------------------------------------
     def _submit(self, task: Task, amount_us: float) -> Event:
-        ev = self.env.event(name=f"compute:{task.name}")
-        self._seq += 1
-        req = WorkRequest(task, amount_us, ev, self._seq)
-        heapq.heappush(self._ready, (req.priority, req.seq, req))
+        ev = self.env.event(name=task._compute_label)
+        seq = self._seq = self._seq + 1
+        req = WorkRequest(task, amount_us, ev, seq)
+        # req.priority inlined (it is a property; _submit runs per compute())
+        heapq.heappush(self._ready, (task.priority + task.decay_offset, seq, req))
         self._wake_idle()
         if self.preemptive:
             self._maybe_preempt(req)
@@ -113,13 +114,15 @@ class OSKernel:
         if self.requeue_to_back:
             self._seq += 1
             req.seq = self._seq
-        heapq.heappush(self._ready, (req.priority, req.seq, req))
+        task = req.task
+        heapq.heappush(self._ready, (task.priority + task.decay_offset, req.seq, req))
         self._wake_idle()
 
     def _wake_idle(self) -> None:
-        waiters, self._idle_waiters = self._idle_waiters, []
-        for w in waiters:
-            w.succeed()
+        if self._idle_waiters:
+            waiters, self._idle_waiters = self._idle_waiters, []
+            for w in waiters:
+                w.succeed()
 
     # -- preemption ----------------------------------------------------------------
     def _maybe_preempt(self, newcomer: WorkRequest) -> None:
@@ -155,11 +158,26 @@ class OSKernel:
 
     # -- the dispatcher loop -----------------------------------------------------------
     def _dispatcher(self, cpu_idx: int) -> Generator:
+        # Loop invariants bound once per dispatcher: the spec is a frozen
+        # dataclass and quantum_us is a class policy constant, so the switch
+        # overhead and quantum never change for the life of the kernel.
         env = self.env
+        timeout = env.timeout
+        select = self._select
+        running = self._running
+        last_task = self._last_task
+        busy_us = self.busy_us
+        slice_started = self._slice_started
+        quantum = self.quantum_us
+        switch_us = 0.0
+        if self.cpu_spec is not None:
+            switch_us = self.cpu_spec.context_switch_us + self.cpu_spec.cache_pollution_us
+        idle_label = f"{self.name}.cpu{cpu_idx}.idle"  # built once, reused per idle spin
         while True:
-            req = self._select(cpu_idx)
+            req = select(cpu_idx)
             if req is None:
-                waiter = env.event(name=f"{self.name}.cpu{cpu_idx}.idle")
+                waiter = env.event(name=idle_label)
+                # NOT bound locally: _wake_idle swaps the list wholesale
                 self._idle_waiters.append(waiter)
                 try:
                     yield waiter
@@ -169,39 +187,38 @@ class OSKernel:
 
             # Context-switch cost when the CPU changes tasks. The CPU is
             # occupied (and preemptible) for the duration of the switch.
-            if self._last_task[cpu_idx] is not req.task and self.cpu_spec is not None:
-                overhead = self.cpu_spec.context_switch_us + self.cpu_spec.cache_pollution_us
-                if overhead > 0:
-                    self.context_switches += 1
-                    self.busy_us[cpu_idx] += overhead
-                    self._running[cpu_idx] = req
-                    self._slice_started[cpu_idx] = env.now + overhead
-                    try:
-                        yield env.timeout(overhead)
-                    except Interrupt:
-                        # preempted mid-switch: put the victim back and
-                        # re-select so the preemptor actually runs
-                        self._running[cpu_idx] = None
-                        self._requeue(req)
-                        self._last_task[cpu_idx] = None
-                        continue
-                    finally:
-                        self._running[cpu_idx] = None
-            self._last_task[cpu_idx] = req.task
+            if switch_us > 0.0 and last_task[cpu_idx] is not req.task:
+                self.context_switches += 1
+                busy_us[cpu_idx] += switch_us
+                running[cpu_idx] = req
+                slice_started[cpu_idx] = env.now + switch_us
+                try:
+                    yield timeout(switch_us)
+                except Interrupt:
+                    # preempted mid-switch: put the victim back and
+                    # re-select so the preemptor actually runs
+                    running[cpu_idx] = None
+                    self._requeue(req)
+                    last_task[cpu_idx] = None
+                    continue
+                finally:
+                    running[cpu_idx] = None
+            last_task[cpu_idx] = req.task
 
-            slice_us = min(self.quantum_us, req.remaining_us)
-            self._running[cpu_idx] = req
-            self._slice_started[cpu_idx] = env.now
+            remaining = req.remaining_us
+            slice_us = quantum if quantum < remaining else remaining
+            running[cpu_idx] = req
+            slice_started[cpu_idx] = env.now
             preempted = False
             try:
-                yield env.timeout(slice_us)
+                yield timeout(slice_us)
             except Interrupt:
                 preempted = True
-            elapsed = env.now - self._slice_started[cpu_idx]
-            self._running[cpu_idx] = None
+            elapsed = env.now - slice_started[cpu_idx]
+            running[cpu_idx] = None
             req.remaining_us -= elapsed
             req.task.cpu_time_us += elapsed
-            self.busy_us[cpu_idx] += elapsed
+            busy_us[cpu_idx] += elapsed
 
             if req.remaining_us <= _EPSILON_US:
                 req.event.succeed()

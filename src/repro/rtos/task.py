@@ -81,6 +81,8 @@ class Task:
         #: number of compute() requests issued
         self.requests = 0
         self.process = None  # set by kernel.spawn
+        #: debug label for compute events, built once (compute() is hot)
+        self._compute_label = f"compute:{name}"
 
     def compute(self, amount_us: float) -> Event:
         """Request *amount_us* of CPU; the event fires when fully served."""

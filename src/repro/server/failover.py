@@ -148,7 +148,7 @@ class HAStreamingService(_BaseService):
     # -- HA plumbing ---------------------------------------------------------
     def _on_any_crash(self) -> None:
         self.meter.mark_fault(self.total_violations)
-        obs = getattr(self.env, "obs", None)
+        obs = self.env.obs
         if obs is not None:
             obs.count("ha.faults")
             obs.instant("ha_fault", track="ha:failover")
@@ -156,7 +156,7 @@ class HAStreamingService(_BaseService):
     def _on_partition(self) -> None:
         self.meter.mark_partition()
         self.meter.mark_detected()
-        obs = getattr(self.env, "obs", None)
+        obs = self.env.obs
         if obs is not None:
             obs.count("ha.partitions")
             obs.instant("ha_partition", track="ha:failover")
@@ -214,7 +214,7 @@ class HAStreamingService(_BaseService):
         self._runtime_of[stream_id] = runtime
         if degraded:
             self.degraded_streams.add(stream_id)
-        obs = getattr(self.env, "obs", None)
+        obs = self.env.obs
         if obs is not None:
             obs.count("ha.splices", card=runtime.card.name)
             obs.instant(
@@ -230,7 +230,7 @@ class HAStreamingService(_BaseService):
     def park(self, stream_id: str) -> None:
         self.parked_streams.add(stream_id)
         self._runtime_of.pop(stream_id, None)
-        obs = getattr(self.env, "obs", None)
+        obs = self.env.obs
         if obs is not None:
             obs.count("ha.parked")
             obs.instant("ha_park", track="ha:failover", stream=stream_id)
@@ -309,7 +309,7 @@ class HAStreamingService(_BaseService):
                     # post-failover media adaptation: a degraded stream
                     # sends anchor frames only
                     self.b_frames_shed += 1
-                    obs = getattr(self.env, "obs", None)
+                    obs = self.env.obs
                     if obs is not None:
                         obs.count("ha.b_frames_shed", stream=frame.stream_id)
                     continue
@@ -347,7 +347,7 @@ class HAStreamingService(_BaseService):
             # the card died between routing and submission; the frame body
             # is already lost with the card's memory
             self.frames_lost_in_migration += 1
-            obs = getattr(self.env, "obs", None)
+            obs = self.env.obs
             if obs is not None:
                 obs.count("ha.frames_lost_in_migration", stream=frame.stream_id)
             return

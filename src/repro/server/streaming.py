@@ -159,7 +159,7 @@ class _BaseService:
                 got = yield from fs_file.read_next(nbytes)
             except DiskMediaError:
                 self.read_errors += 1
-                obs = getattr(self.env, "obs", None)
+                obs = self.env.obs
                 if obs is not None:
                     obs.count("producer.read_errors")
                 yield self.env.timeout(wait_us)
@@ -170,7 +170,7 @@ class _BaseService:
                 continue
             return got
         self.frames_skipped += 1
-        obs = getattr(self.env, "obs", None)
+        obs = self.env.obs
         if obs is not None:
             obs.count("producer.frames_skipped")
         return 0
@@ -249,7 +249,7 @@ class SchedulerCardRuntime:
         out and are dropped/accounted by DWCS miss processing on resume.
         """
         self.engine.pause()
-        obs = getattr(self.env, "obs", None)
+        obs = self.env.obs
         for desc in self._txq.items:
             self.frames_lost_to_crash += 1
             if obs is not None:
@@ -294,7 +294,7 @@ class SchedulerCardRuntime:
         port = self.card.eth_ports[0]
         while True:
             desc: FrameDescriptor = yield self._txq.get()
-            obs = getattr(self.env, "obs", None)
+            obs = self.env.obs
             if self.card.crashed:
                 # dispatched into the crash window: the frame is lost
                 self.frames_lost_to_crash += 1
@@ -383,7 +383,7 @@ class NIStreamingService(_BaseService):
 
         def producer() -> Generator:
             for i, frame in enumerate(file.frames):
-                obs = getattr(self.env, "obs", None)
+                obs = self.env.obs
                 sid, seq = frame.stream_id, frame.seqno
                 track = f"stream:{sid}"
                 sp = (
@@ -463,7 +463,7 @@ class HostStreamingService(_BaseService):
         port = self.nic.eth_port
         while True:
             desc: FrameDescriptor = yield self._txq.get()
-            obs = getattr(self.env, "obs", None)
+            obs = self.env.obs
             sid, seq = desc.stream_id, desc.frame.seqno
             sp = (
                 obs.begin(
@@ -517,7 +517,7 @@ class HostStreamingService(_BaseService):
 
         def producer(task: Task) -> Generator:
             for i, frame in enumerate(file.frames):
-                obs = getattr(self.env, "obs", None)
+                obs = self.env.obs
                 sid, seq = frame.stream_id, frame.seqno
                 track = f"stream:{sid}"
                 sp = (

@@ -9,11 +9,19 @@ The event queue is a binary heap keyed by ``(time, priority, sequence)``;
 the monotone sequence number makes same-time processing deterministic
 (FIFO in scheduling order), which the reproduction relies on for exact
 repeatability of every experiment.
+
+Hot-path notes (the wall-clock benchmark harness pins these): ``now`` is a
+plain attribute (read-only by convention — only the kernel writes it), the
+``run()`` loop inlines the body of :meth:`Environment.step`, and events
+with no registered callbacks skip the callback hand-off entirely. All of
+this is observably identical to the straightforward implementation; the
+golden-digest tests prove it stays bit-identical.
 """
 
 from __future__ import annotations
 
 import heapq
+from functools import partial
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from .errors import SimulationError, StopSimulation
@@ -43,16 +51,27 @@ class Environment:
     """
 
     def __init__(self, initial_time: float = 0.0) -> None:
-        self._now = float(initial_time)
+        #: current simulated time in microseconds; written only by the
+        #: kernel (``step``/``run``), read everywhere
+        self.now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self.active_process: Optional[Process] = None
-
-    # -- clock -------------------------------------------------------------
-    @property
-    def now(self) -> float:
-        """Current simulated time in microseconds."""
-        return self._now
+        # Pre-resolved per-environment hook table. Both planes bind into a
+        # slot that exists from construction, so the ~40 datapath hooks
+        # across hw/net/dvcm/core/server cost one plain attribute load when
+        # nothing is installed (no ``getattr``-with-default machinery).
+        #: observability hook slot (:class:`~repro.obs.ObservabilityPlane`)
+        self.obs = None
+        #: fault-injection hook slot (:class:`~repro.faults.FaultPlane`)
+        self.fault_plane = None
+        # Shadow the factory methods with C-level partials: event/timeout/
+        # process are called hundreds of thousands of times per run, and the
+        # pure-Python wrapper frame is measurable. The methods below remain
+        # as documentation and as the uncached (class-level) fallback.
+        self.event = partial(Event, self)
+        self.timeout = partial(Timeout, self)
+        self.process = partial(Process, self)
 
     # -- factories ----------------------------------------------------------
     def event(self, name: Optional[str] = None) -> Event:
@@ -77,11 +96,16 @@ class Environment:
 
     # -- scheduling ----------------------------------------------------------
     def _schedule_event(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
-        """Enqueue *event* for callback processing ``delay`` µs from now."""
+        """Enqueue *event* for callback processing ``delay`` µs from now.
+
+        ``Event.succeed``/``fail`` and ``Timeout.__init__`` push onto the
+        heap directly (same key layout) to keep the trigger path flat; any
+        other scheduling goes through here.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        heapq.heappush(self._queue, (self.now + delay, priority, self._seq, event))
 
     def schedule_callback(
         self, delay: float, callback: Callable[[], None], name: Optional[str] = None
@@ -97,17 +121,20 @@ class Environment:
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event (advancing the clock to it)."""
+        """Process exactly one event (advancing the clock to it).
+
+        ``run()`` inlines this body; changes here must be mirrored there.
+        """
         if not self._queue:
             raise SimulationError("step() on an empty event queue")
         when, _prio, _seq, event = heapq.heappop(self._queue)
-        if when < self._now:  # pragma: no cover - heap invariant guard
-            raise SimulationError("event queue produced a time in the past")
-        self._now = when
-        callbacks, event.callbacks = event.callbacks, []
-        event._mark_processed()  # also marks deferred-trigger events (Timeout)
-        for cb in callbacks:
-            cb(event)
+        self.now = when
+        event._state = 2  # PROCESSED (also marks deferred-trigger Timeouts)
+        callbacks = event.callbacks
+        if callbacks:
+            event.callbacks = []
+            for cb in callbacks:
+                cb(event)
         if not event._ok and not event.defused:
             # A failed event nobody waited on: surface the error loudly
             # instead of silently losing it.
@@ -122,7 +149,7 @@ class Environment:
         stop_event: Optional[Event] = None
         if isinstance(until, Event):
             stop_event = until
-            if stop_event.processed:
+            if stop_event._state == 2:  # already processed
                 return self._unwrap(stop_event)
 
             def _stop(ev: Event) -> None:
@@ -131,14 +158,28 @@ class Environment:
             stop_event.callbacks.append(_stop)
         elif until is not None:
             stop_at = float(until)
-            if stop_at < self._now:
+            if stop_at < self.now:
                 raise SimulationError(
-                    f"run(until={stop_at}) is in the past (now={self._now})"
+                    f"run(until={stop_at}) is in the past (now={self.now})"
                 )
 
+        # The hot loop: step() inlined (see its docstring), with the heap
+        # and heappop bound locally so each iteration is a handful of
+        # attribute-free operations for the common no-callback event.
+        queue = self._queue
+        pop = heapq.heappop
         try:
-            while self._queue and self.peek() <= stop_at:
-                self.step()
+            while queue and queue[0][0] <= stop_at:
+                when, _prio, _seq, event = pop(queue)
+                self.now = when
+                event._state = 2  # PROCESSED
+                callbacks = event.callbacks
+                if callbacks:
+                    event.callbacks = []
+                    for cb in callbacks:
+                        cb(event)
+                if not event._ok and not event.defused:
+                    raise event._value
         except StopSimulation as stop:
             return self._unwrap(stop.value)
         if stop_event is not None:
@@ -146,7 +187,7 @@ class Environment:
                 f"run() ran out of events before {stop_event!r} triggered"
             )
         if stop_at != float("inf"):
-            self._now = max(self._now, stop_at)
+            self.now = max(self.now, stop_at)
         return None
 
     @staticmethod
@@ -158,4 +199,4 @@ class Environment:
         raise event._value
 
     def __repr__(self) -> str:
-        return f"<Environment t={self._now:.3f}us queued={len(self._queue)}>"
+        return f"<Environment t={self.now:.3f}us queued={len(self._queue)}>"

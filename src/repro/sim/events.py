@@ -12,6 +12,7 @@ this reproduction (deterministic ordering, microsecond time base).
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 from .errors import SimulationError
@@ -25,6 +26,10 @@ __all__ = ["Event", "Timeout", "AllOf", "AnyOf", "ConditionValue"]
 PENDING = 0
 TRIGGERED = 1  # scheduled for processing, value fixed
 PROCESSED = 2  # callbacks have run
+
+#: default queue priority — must match ``environment.NORMAL`` (the
+#: environment imports this module, so the constant lives here too)
+_NORMAL = 1
 
 
 class Event:
@@ -79,24 +84,30 @@ class Event:
     # -- triggering --------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Fix a success value and schedule callback processing now."""
-        if self._state != PENDING:
+        if self._state:  # != PENDING (0)
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
         self._state = TRIGGERED
-        self.env._schedule_event(self)
+        # inlined Environment._schedule_event(delay=0): triggering is the
+        # hottest scheduling site in every workload
+        env = self.env
+        seq = env._seq = env._seq + 1
+        heappush(env._queue, (env.now, _NORMAL, seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
         """Fix a failure and schedule callback processing now."""
-        if self._state != PENDING:
+        if self._state:  # != PENDING (0)
             raise SimulationError(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise SimulationError(f"fail() needs an exception, got {exception!r}")
         self._ok = False
         self._value = exception
         self._state = TRIGGERED
-        self.env._schedule_event(self)
+        env = self.env
+        seq = env._seq = env._seq + 1
+        heappush(env._queue, (env.now, _NORMAL, seq, self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -134,13 +145,20 @@ class Timeout(Event):
     ) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
-        super().__init__(env, name=name)
-        self.delay = delay
+        # Event.__init__ + _schedule_event inlined: timeouts are created by
+        # the hundred-thousand per run (every compute/sleep/wire delay)
+        self.env = env
+        self.name = name
+        self._state = PENDING
         self._ok = True
         self._value = value
+        self.callbacks = []
+        self.defused = False
+        self.delay = delay
         # A timeout's outcome is fixed at creation but it only *triggers*
         # when the clock reaches it: waiters created meanwhile must block.
-        env._schedule_event(self, delay=delay)
+        seq = env._seq = env._seq + 1
+        heappush(env._queue, (env.now + delay, _NORMAL, seq, self))
 
     def succeed(self, value: Any = None) -> "Event":  # pragma: no cover - guard
         raise SimulationError("Timeout events trigger themselves")

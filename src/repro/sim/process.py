@@ -23,7 +23,7 @@ __all__ = ["Process"]
 class Process(Event):
     """A running generator; also an event for its own termination."""
 
-    __slots__ = ("_generator", "_target", "_resume_scheduled")
+    __slots__ = ("_generator", "_target", "_resume_cb")
 
     def __init__(
         self,
@@ -33,14 +33,24 @@ class Process(Event):
     ) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise SimulationError(f"{generator!r} is not a generator")
-        super().__init__(env, name=name or getattr(generator, "__name__", None))
+        # Event.__init__ inlined; processes are created per request/stream.
+        self.env = env
+        self.name = name or getattr(generator, "__name__", None)
+        self._state = 0  # PENDING
+        self._value: Any = None
+        self._ok = True
+        self.callbacks = []
+        self.defused = False
         self._generator = generator
         #: the event this process is currently waiting on (None when running
         #: or finished).
         self._target: Optional[Event] = None
+        #: the bound resume callback, materialized once — creating a fresh
+        #: bound method per yield is measurable at ~1 resume/event
+        self._resume_cb = self._resume
         # Kick the process off via an immediately-scheduled init event.
-        init = Event(env, name=f"init:{self.name}")
-        init.callbacks.append(self._resume)
+        init = Event(env, name=self.name)
+        init.callbacks.append(self._resume_cb)
         init.succeed()
 
     # -- introspection ------------------------------------------------------
@@ -73,21 +83,27 @@ class Process(Event):
         carrier._ok = False
         carrier._value = Interrupt(cause)
         carrier._state = 1  # TRIGGERED
-        carrier.callbacks.append(self._resume)
+        carrier.callbacks.append(self._resume_cb)
         self.env._schedule_event(carrier, priority=0)
 
     # -- kernel --------------------------------------------------------------
     def _resume(self, event: Event) -> None:
-        """Advance the generator with *event*'s outcome."""
-        if not self.is_alive:
+        """Advance the generator with *event*'s outcome.
+
+        This runs once per yield of every process — the busiest callback in
+        the kernel — so state checks read the slots directly instead of
+        going through the ``is_alive``/``processed`` properties.
+        """
+        if self._state != 0:  # not PENDING: the generator already finished
             # e.g. an interrupt landed after normal termination in the same
             # time step, or a stale target fired; nothing to do.
             return
         # Detach from the previous target: necessary when an interrupt
         # arrives while the old target is still pending.
-        if self._target is not None and self._target is not event:
+        target = self._target
+        if target is not None and target is not event:
             try:
-                self._target.callbacks.remove(self._resume)
+                target.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
         self._target = None
@@ -116,18 +132,18 @@ class Process(Event):
         if next_target.env is not env:
             raise SimulationError("yielded an event from a different environment")
         self._target = next_target
-        if next_target.processed:
+        if next_target._state == 2:  # PROCESSED
             # Already done: resume on a fresh zero-delay event carrying the
             # same outcome so time ordering stays in the queue.
             carrier = Event(env)
-            carrier.callbacks.append(self._resume)
+            carrier.callbacks.append(self._resume_cb)
             carrier.trigger(next_target)
             # A failed-but-processed target has already surfaced or been
             # defused once; waiting on it re-delivers, so mark defused.
             carrier.defused = True
             self._target = carrier
         else:
-            next_target.callbacks.append(self._resume)
+            next_target.callbacks.append(self._resume_cb)
 
     def __repr__(self) -> str:
         state = "alive" if self.is_alive else ("ok" if self._ok else "failed")

@@ -40,12 +40,21 @@ class Request(Event):
         priority: float = 0.0,
         preempt: bool = False,
     ) -> None:
-        super().__init__(resource.env)
+        # Event.__init__ inlined: one Request per bus transaction / disk
+        # command makes this constructor hot.
+        env = resource.env
+        self.env = env
+        self.name = None
+        self._state = 0  # PENDING
+        self._value = None
+        self._ok = True
+        self.callbacks = []
+        self.defused = False
         self.resource = resource
         self.priority = priority
         self.preempt = preempt
-        self.time = resource.env.now
-        self.process: Optional["Process"] = resource.env.active_process
+        self.time = env.now
+        self.process: Optional["Process"] = env.active_process
         #: set when the request is granted
         self.usage_since: Optional[float] = None
 
@@ -115,11 +124,17 @@ class Resource:
             self._account_busy()
             self._wake()
         else:
-            # Cancel if still waiting.
+            # Cancel if still waiting. Removing the tail leaves the heap
+            # invariant intact, so only a mid-heap removal pays the O(n)
+            # re-heapify (the common cancel — the most recently queued,
+            # worst-priority waiter — sits at or near the tail).
             for i, (_key, waiter) in enumerate(self._waiters):
                 if waiter is request:
-                    del self._waiters[i]
-                    heapq.heapify(self._waiters)
+                    if i == len(self._waiters) - 1:
+                        self._waiters.pop()
+                    else:
+                        del self._waiters[i]
+                        heapq.heapify(self._waiters)
                     break
 
     def utilization(self, since: float = 0.0) -> float:
@@ -184,7 +199,13 @@ class StorePut(Event):
     __slots__ = ("item",)
 
     def __init__(self, store: "Store", item: Any) -> None:
-        super().__init__(store.env)
+        self.env = store.env
+        self.name = None
+        self._state = 0  # PENDING
+        self._value = None
+        self._ok = True
+        self.callbacks = []
+        self.defused = False
         self.item = item
 
 
@@ -194,7 +215,13 @@ class StoreGet(Event):
     __slots__ = ("filter",)
 
     def __init__(self, store: "Store", filter: Optional[Callable[[Any], bool]] = None) -> None:
-        super().__init__(store.env)
+        self.env = store.env
+        self.name = None
+        self._state = 0  # PENDING
+        self._value = None
+        self._ok = True
+        self.callbacks = []
+        self.defused = False
         self.filter = filter
 
 
@@ -227,6 +254,24 @@ class Store:
         self._dispatch()
         return ev
 
+    def put_nowait(self, item: Any) -> None:
+        """Deposit *item* without a completion event.
+
+        For fire-and-forget producers into effectively unbounded channels
+        (network inboxes, reply queues): the evented :meth:`put` costs a
+        kernel event per item that nobody ever waits on. Raises
+        :class:`SimulationError` if the store is full — callers must only
+        use this where capacity is not a constraint.
+        """
+        if len(self.items) >= self.capacity:
+            raise SimulationError(
+                f"put_nowait into full store {self.name!r} "
+                f"({len(self.items)}/{self.capacity})"
+            )
+        self.items.append(item)
+        if self._gets:
+            self._dispatch()
+
     def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:
         ev = StoreGet(self, filter=filter)
         self._gets.append(ev)
@@ -241,29 +286,33 @@ class Store:
             self._gets.remove(event)
 
     def _dispatch(self) -> None:
+        items = self.items
+        puts = self._puts
+        gets = self._gets
+        capacity = self.capacity
         progressed = True
         while progressed:
             progressed = False
             # Admit pending puts while capacity remains.
-            while self._puts and len(self.items) < self.capacity:
-                put = self._puts.pop(0)
-                self.items.append(put.item)
+            while puts and len(items) < capacity:
+                put = puts.pop(0)
+                items.append(put.item)
                 put.succeed()
                 progressed = True
             # Serve pending gets with matching items.
             i = 0
-            while i < len(self._gets):
-                get = self._gets[i]
+            while i < len(gets):
+                get = gets[i]
                 matched = None
-                for j, item in enumerate(self.items):
+                for j, item in enumerate(items):
                     if get.filter is None or get.filter(item):
                         matched = j
                         break
                 if matched is None:
                     i += 1
                     continue
-                item = self.items.pop(matched)
-                self._gets.pop(i)
+                item = items.pop(matched)
+                gets.pop(i)
                 get.succeed(item)
                 progressed = True
 

@@ -66,6 +66,7 @@ class ApacheServer:
         self.heavy_tail_mult = heavy_tail_mult
         self.priority = priority
         self._rng = (rng if rng is not None else RandomStreams(seed=0)).stream("apache")
+        self._io_wait_buf: list[float] = []
         self.accept_queue: Store = Store(env, name="apache.accept")
         self.workers: list[Task] = []
         self.requests_served = 0
@@ -95,7 +96,7 @@ class ApacheServer:
         """Hand a parsed request to the pool (called by httperf's network)."""
         if request.done is None:
             request.done = self.env.event()
-        self.accept_queue.put(request)
+        self.accept_queue.put_nowait(request)
 
     # -- processes -----------------------------------------------------------
     def _fork(self) -> None:
@@ -110,14 +111,35 @@ class ApacheServer:
             if len(self.accept_queue.items) > 2 and self.nprocs < self.max_procs:
                 self._fork()
 
+    def _draw_io_wait_us(self) -> float:
+        """Next logging/disk-write stall, drawn from the shared pool stream.
+
+        Draws are buffered in batches: numpy's ``Generator.exponential``
+        produces the identical value sequence batched or one at a time, and
+        batching amortizes the per-call dispatch overhead across the pool's
+        busiest path.
+        """
+        buf = self._io_wait_buf
+        if not buf:
+            # tolist() yields plain python floats (np.float64 must not leak
+            # into the simulation clock); reversed so pop() consumes in
+            # draw order.
+            buf.extend(reversed(self._rng.exponential(self.io_wait_us, size=256).tolist()))
+        return buf.pop()
+
     def _worker(self, task: Task) -> Generator:
+        env = self.env
+        timeout = env.timeout
+        get = self.accept_queue.get
+        response_add = self.response_time_us.add
         while True:
-            request: WebRequest = yield self.accept_queue.get()
+            request: WebRequest = yield get()
             yield task.compute(request.service_us)
             if self.io_wait_us > 0:
                 # logging/disk write: blocks, does not burn CPU
-                yield self.env.timeout(float(self._rng.exponential(self.io_wait_us)))
+                yield timeout(self._draw_io_wait_us())
             self.requests_served += 1
-            self.response_time_us.add(self.env.now - request.submitted_at)
-            if request.done is not None and not request.done.triggered:
-                request.done.succeed()
+            response_add(env.now - request.submitted_at)
+            done = request.done
+            if done is not None and done._state == 0:  # still PENDING
+                done.succeed()

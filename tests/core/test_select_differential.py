@@ -1,0 +1,135 @@
+"""Differential test: DualHeaps vs LinearScan under interleaved operations.
+
+``test_selection.py`` proves the two structures agree on a single
+add-then-select pass. This file drives both through the *full* maintenance
+API — add / remove / reorder / select / late_entries in random
+interleavings — with hypothesis generating the operation program. Any
+divergence (a different winner, a different late cohort, a different
+length) is a scheduler-correctness bug: the DWCS engine treats the two
+structures as interchangeable policies.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DualHeaps, LinearScan, StreamSpec
+from repro.core.attributes import StreamState
+from repro.core.selection import Entry
+from repro.fixedpoint import FixedPointContext, OpCounter
+
+
+def make_pair(i, deadline, x, y, enq):
+    """Two logically identical entries, one per structure under test."""
+    pair = []
+    for _ in range(2):
+        state = StreamState(
+            StreamSpec(f"s{i}", period_us=1000.0, loss_x=x, loss_y=y),
+            created_seq=i,
+        )
+        state.deadline_us = deadline
+        pair.append(Entry(state, head_enqueued_at=enq))
+    return pair
+
+
+def assert_same_selection(scan, heaps, ops):
+    a, b = scan.select(ops), heaps.select(ops)
+    assert (a is None) == (b is None)
+    if a is not None:
+        assert a.stream_id == b.stream_id
+
+
+# One op: (kind, selector entropy, deadline, x, y, time). The selector is
+# reduced modulo the live-entry count at apply time so shrunk programs stay
+# valid; x is clamped to <= y (the StreamSpec invariant).
+OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "remove", "reorder", "select", "late"]),
+        st.integers(min_value=0, max_value=2**32),
+        st.one_of(st.none(), st.floats(min_value=0.0, max_value=1e6)),
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=1, max_value=6),
+        st.floats(min_value=0.0, max_value=1e5),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(program=OPS)
+@settings(max_examples=120, deadline=None)
+def test_structures_never_disagree(program):
+    scan = LinearScan(FixedPointContext())
+    heaps = DualHeaps(FixedPointContext())
+    ops = OpCounter()
+    live = []  # parallel (scan entry, heap entry) pairs
+    next_id = 0
+    for kind, sel, deadline, x, y, t in program:
+        x = min(x, y)
+        if kind == "add":
+            ea, eb = make_pair(next_id, deadline, x, y, t)
+            next_id += 1
+            scan.add(ea, ops)
+            heaps.add(eb, ops)
+            live.append((ea, eb))
+        elif kind == "remove" and live:
+            ea, eb = live.pop(sel % len(live))
+            scan.remove(ea, ops)
+            heaps.remove(eb, ops)
+        elif kind == "reorder" and live:
+            ea, eb = live[sel % len(live)]
+            for e in (ea, eb):
+                e.state.deadline_us = deadline
+                e.state.x_cur = x
+                e.state.y_cur = y
+            scan.reorder(ea, ops)
+            heaps.reorder(eb, ops)
+        elif kind == "select":
+            assert_same_selection(scan, heaps, ops)
+        elif kind == "late":
+            late_scan = {e.stream_id for e in scan.late_entries(t, ops)}
+            late_heap = {e.stream_id for e in heaps.late_entries(t, ops)}
+            assert late_scan == late_heap
+        assert len(scan) == len(heaps) == len(live)
+    assert_same_selection(scan, heaps, ops)
+
+
+@given(
+    specs=st.lists(
+        st.tuples(
+            st.one_of(st.none(), st.floats(min_value=0.0, max_value=1e6)),
+            st.integers(min_value=0, max_value=5),
+            st.integers(min_value=1, max_value=6),
+            st.floats(min_value=0.0, max_value=1e5),
+        ),
+        min_size=1,
+        max_size=16,
+    )
+)
+@settings(max_examples=120, deadline=None)
+def test_drain_order_identical(specs):
+    """Select-and-remove until empty yields the exact same stream order.
+
+    Stronger than a single select: every intermediate state of both
+    structures must rank the full remaining population identically,
+    including duplicate deadlines, None deadlines, and constraint ties
+    that fall through to the FCFS rules.
+    """
+    scan = LinearScan(FixedPointContext())
+    heaps = DualHeaps(FixedPointContext())
+    ops = OpCounter()
+    live = {}
+    for i, (deadline, x, y, enq) in enumerate(specs):
+        ea, eb = make_pair(i, deadline, min(x, y), y, enq)
+        scan.add(ea, ops)
+        heaps.add(eb, ops)
+        live[ea.stream_id] = (ea, eb)
+    drain_scan, drain_heap = [], []
+    while len(scan):
+        a, b = scan.select(ops), heaps.select(ops)
+        drain_scan.append(a.stream_id)
+        drain_heap.append(b.stream_id)
+        ea, eb = live.pop(a.stream_id)
+        scan.remove(ea, ops)
+        heaps.remove(eb, ops)
+    assert drain_scan == drain_heap
+    assert len(heaps) == 0

@@ -1,0 +1,128 @@
+"""Golden-trace regression tests.
+
+The kernel fast-path work claims bit-identical behaviour; these tests hold
+it to that. The ``short`` digest set (figure9 / chaos / failover at 10
+simulated seconds, seed 42) is *recomputed on every tier-1 run* and
+compared byte-for-byte against the checked-in ``golden_digests.json``. The
+``full`` set is too slow for tier-1 — the bench harness
+(``python -m repro.experiments bench``) verifies it — so here we only
+check its shape.
+
+If one of these fails after an *intentional* behaviour change, refresh
+with::
+
+    PYTHONPATH=src python -m repro.experiments.golden --refresh short
+"""
+
+import pytest
+
+from repro.experiments import golden
+from repro.sim import Environment
+from repro.sim.trace import Tracer
+
+
+# -- checked-in digest file shape ------------------------------------------
+
+
+class TestGoldenFile:
+    def test_both_sections_present(self):
+        goldens = golden.load_goldens()
+        assert set(goldens) >= {"short", "full"}
+
+    def test_short_section_covers_short_ids(self):
+        goldens = golden.load_goldens()
+        assert set(goldens["short"]["digests"]) == set(golden.SHORT_IDS)
+        assert goldens["short"]["seed"] == 42
+        assert goldens["short"]["duration_us"] == golden.SHORT_DURATION_US
+
+    def test_full_section_covers_all_golden_ids(self):
+        goldens = golden.load_goldens()
+        assert set(goldens["full"]["digests"]) == set(golden.GOLDEN_IDS)
+        assert goldens["full"]["seed"] == 42
+
+    def test_digests_are_sha256_hex(self):
+        goldens = golden.load_goldens()
+        for section in ("short", "full"):
+            for name, digest in goldens[section]["digests"].items():
+                assert len(digest) == 64, name
+                int(digest, 16)  # raises on non-hex
+
+
+# -- the regression proper: recompute the short set --------------------------
+
+
+@pytest.mark.parametrize("name", golden.SHORT_IDS)
+def test_short_digest_is_byte_identical(name):
+    """Recompute one short-set experiment and compare to the pinned digest.
+
+    ``out_dir=None`` matches how the digests were captured: the digest
+    covers the result object, never exporter side effects.
+    """
+    goldens = golden.load_goldens()
+    want = goldens["short"]["digests"][name]
+    got = golden.compute_digest(
+        name, seed=42, duration_us=golden.SHORT_DURATION_US, out_dir=None
+    )
+    assert got == want, (
+        f"{name} drifted from its golden digest — simulated behaviour "
+        "changed. If intentional, refresh with "
+        "`python -m repro.experiments.golden --refresh short`."
+    )
+
+
+def test_compute_digest_is_deterministic():
+    """Two in-process runs of the same experiment produce the same digest."""
+    kwargs = dict(seed=42, duration_us=golden.SHORT_DURATION_US, out_dir=None)
+    assert golden.compute_digest("figure9", **kwargs) == golden.compute_digest(
+        "figure9", **kwargs
+    )
+
+
+# -- trace_digest ------------------------------------------------------------
+
+
+def _traced_run(order):
+    """A tiny deterministic sim emitting trace events in a given order."""
+    env = Environment()
+    tracer = Tracer(env)
+
+    def emitter(label, delay):
+        yield env.timeout(delay)
+        tracer.emit("test", label, step=delay)
+
+    for label, delay in order:
+        env.process(emitter(label, delay))
+    env.run()
+    return tracer
+
+
+class TestTraceDigest:
+    EVENTS = [("a", 10.0), ("b", 20.0), ("c", 30.0)]
+
+    def test_deterministic_across_runs(self):
+        d1 = golden.trace_digest(_traced_run(self.EVENTS))
+        d2 = golden.trace_digest(_traced_run(self.EVENTS))
+        assert d1 == d2
+
+    def test_insensitive_to_emission_order(self):
+        """Same events, different spawn (= emission) order: same digest."""
+        d1 = golden.trace_digest(_traced_run(self.EVENTS))
+        d2 = golden.trace_digest(_traced_run(list(reversed(self.EVENTS))))
+        assert d1 == d2
+
+    def test_sensitive_to_timestamps(self):
+        shifted = [(label, delay + 1.0) for label, delay in self.EVENTS]
+        assert golden.trace_digest(_traced_run(self.EVENTS)) != golden.trace_digest(
+            _traced_run(shifted)
+        )
+
+    def test_sensitive_to_field_values(self):
+        env = Environment()
+        t1, t2 = Tracer(env), Tracer(env)
+        t1.emit("test", "x", value=1)
+        t2.emit("test", "x", value=2)
+        assert golden.trace_digest(t1) != golden.trace_digest(t2)
+
+    def test_empty_tracers_agree(self):
+        env = Environment()
+        assert golden.trace_digest(Tracer(env)) == golden.trace_digest(Tracer(env))

@@ -236,3 +236,86 @@ class TestStore:
     def test_invalid_capacity_rejected(self, env):
         with pytest.raises(SimulationError):
             Store(env, capacity=0)
+
+
+class TestWaiterCancellation:
+    """release() of a queued request must leave the waiter heap valid.
+
+    Two structurally different paths: cancelling the heap's tail slot
+    (cheap pop) and cancelling a mid-heap slot (which forces a re-heapify).
+    Both must preserve the (priority, time, FIFO) service order of the
+    surviving waiters.
+    """
+
+    def _contended(self, env, priorities):
+        res = Resource(env, capacity=1)
+        holder = res.request()
+        waiters = [res.request(priority=p) for p in priorities]
+        return res, holder, waiters
+
+    def test_cancel_tail_waiter_keeps_order(self, env):
+        res, holder, waiters = self._contended(env, [3, 1, 2])
+        res.release(waiters[-1])  # the most recently queued: tail slot
+        assert res.queue_length == 2
+        res.release(holder)
+        assert waiters[1].triggered  # priority 1 first
+        res.release(waiters[1])
+        assert waiters[0].triggered
+        assert not waiters[2].triggered
+
+    def test_cancel_mid_heap_waiter_reheapifies(self, env):
+        # Six waiters make the heap deep enough that removing an interior
+        # slot without re-heapify would leave a violated invariant.
+        res, holder, waiters = self._contended(env, [5, 1, 4, 2, 6, 3])
+        victim = waiters[1]  # priority 1: the heap root, never the tail
+        res.release(victim)
+        assert res.queue_length == 5
+        served = []
+        res.release(holder)
+        for _ in range(5):
+            (granted,) = [
+                w for w in waiters if w.triggered and w not in served and w is not victim
+            ]
+            served.append(granted)
+            res.release(granted)
+        assert [w.priority for w in served] == [2, 3, 4, 5, 6]
+        assert not victim.triggered
+
+    def test_cancel_every_waiter_then_release_is_clean(self, env):
+        res, holder, waiters = self._contended(env, [2, 1, 3])
+        for w in waiters:
+            res.release(w)
+        assert res.queue_length == 0
+        res.release(holder)  # wakes nobody, corrupts nothing
+        assert res.count == 0
+        late = res.request()
+        assert late.triggered
+
+
+class TestStorePutNowait:
+    def test_put_nowait_deposits_without_event(self, env):
+        store = Store(env)
+        store.put_nowait("x")
+        assert len(store) == 1
+        assert store.get().value == "x"
+
+    def test_put_nowait_serves_pending_get(self, env):
+        store = Store(env)
+        got = store.get()
+        store.put_nowait("y")
+        assert got.triggered
+        assert got.value == "y"
+        assert len(store) == 0
+
+    def test_put_nowait_full_store_raises(self, env):
+        store = Store(env, capacity=1)
+        store.put_nowait("a")
+        with pytest.raises(SimulationError):
+            store.put_nowait("b")
+
+    def test_put_nowait_preserves_fifo_with_put(self, env):
+        store = Store(env)
+        store.put(1)
+        store.put_nowait(2)
+        store.put(3)
+        assert [store.get().value for _ in range(3)] == [1, 2, 3]
