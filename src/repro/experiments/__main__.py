@@ -6,6 +6,7 @@
     python -m repro.experiments figure7 --plots out/   # + ASCII plot files
     python -m repro.experiments bench          # wall-clock benchmark
     python -m repro.experiments bench --quick  # CI smoke benchmark
+    python -m repro.experiments sweep --jobs 4 # parallel sweep + cache
 """
 
 from __future__ import annotations
@@ -36,6 +37,11 @@ def main(argv: list[str] | None = None) -> int:
         from .bench import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "sweep":
+        # the parallel sweep engine owns its own CLI (see sweep.py)
+        from .sweep import main as sweep_main
+
+        return sweep_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",

@@ -71,8 +71,11 @@ HEADLINE = "figure9"
 #: (that is how the checked-in baseline was captured — see
 #: ``benchmarks/wallclock_baseline.json``).
 _CHILD_PROGRAM = r"""
-import inspect, json, statistics, sys, time
+import json, statistics, sys, time
+t_import = time.perf_counter()
+import inspect
 from repro.experiments import REGISTRY
+import_s = time.perf_counter() - t_import
 
 name, seed, duration, reps = (
     sys.argv[1], int(sys.argv[2]), sys.argv[3], int(sys.argv[4])
@@ -92,9 +95,18 @@ for _ in range(reps):
     t0 = time.perf_counter()
     runner(**kwargs)
     samples.append(time.perf_counter() - t0)
-print(json.dumps(
-    {"median_s": statistics.median(samples), "samples_s": samples, "reps": reps}
-))
+try:
+    import resource
+    peak_rss_kb = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+except Exception:
+    peak_rss_kb = 0
+print(json.dumps({
+    "median_s": statistics.median(samples),
+    "samples_s": samples,
+    "reps": reps,
+    "import_s": import_s,
+    "peak_rss_kb": peak_rss_kb,
+}))
 """
 
 
@@ -120,13 +132,36 @@ def time_workload_isolated(
     return json.loads(out.stdout.strip().splitlines()[-1])
 
 
-def _verify_digests(quick: bool) -> dict[str, str]:
-    """Recompute the golden digests; returns name -> 'identical'|'drift'."""
+def _verify_digests(quick: bool, jobs: int = 1) -> dict[str, str]:
+    """Recompute the golden digests; returns name -> 'identical'|'drift'.
+
+    ``jobs > 1`` fans the recomputation out over worker processes via the
+    sweep runner (cache disabled — verification must recompute). The
+    per-experiment digests are independent deterministic evaluations, so
+    the fan-out cannot change a verdict, only the wall clock.
+    """
     goldens = golden.load_goldens()
     section = "short" if quick else "full"
     duration = golden.SHORT_DURATION_US if quick else None
+    wanted = goldens[section]["digests"]
+    if jobs > 1:
+        from repro.parallel import Job, SweepRunner
+
+        specs = [
+            Job(experiment=name, seed=BENCH_SEED, duration_us=duration)
+            for name in wanted
+        ]
+        report = SweepRunner(workers=jobs, cache=None).run(specs)
+        return {
+            o.job.experiment: (
+                "identical"
+                if o.ok and o.result_digest == wanted[o.job.experiment]
+                else ("drift" if o.ok else f"error: {o.error}")
+            )
+            for o in report.outcomes
+        }
     verdicts: dict[str, str] = {}
-    for name, want in goldens[section]["digests"].items():
+    for name, want in wanted.items():
         got = golden.compute_digest(
             name, seed=BENCH_SEED, duration_us=duration, out_dir=None
         )
@@ -135,12 +170,19 @@ def _verify_digests(quick: bool) -> dict[str, str]:
 
 
 def run_bench(
-    reps: int = 5, quick: bool = False, out_path: Optional[Path] = None
+    reps: int = 5,
+    quick: bool = False,
+    out_path: Optional[Path] = None,
+    jobs: int = 1,
 ) -> dict:
     """Run the benchmark; writes the report and returns it as a dict.
 
     Raises :class:`RuntimeError` if any golden digest drifts — wall-clock
     numbers for a behaviourally different simulation are meaningless.
+
+    ``jobs`` parallelizes only the digest-verification pass. The timed
+    runs stay strictly serial, one fresh interpreter at a time — sharing
+    cores between concurrent timed workloads would corrupt the medians.
     """
     out_path = Path(out_path) if out_path is not None else DEFAULT_OUT
 
@@ -148,11 +190,18 @@ def run_bench(
     for name in WORKLOADS:
         print(f"timing {name} ({reps} reps{', quick' if quick else ''}, isolated)...")
         current[name] = time_workload_isolated(name, reps, quick=quick)
-        print(f"  median {current[name]['median_s']:.3f} s")
+        print(
+            f"  median {current[name]['median_s']:.3f} s"
+            f"  (peak RSS {current[name].get('peak_rss_kb', 0) / 1024:.0f} MB,"
+            f" cold import {current[name].get('import_s', 0.0):.2f} s)"
+        )
 
-    print(f"verifying golden digests ({'short' if quick else 'full'} set)...")
-    digests = _verify_digests(quick)
-    drifted = sorted(n for n, v in digests.items() if v == "drift")
+    print(
+        f"verifying golden digests ({'short' if quick else 'full'} set"
+        f"{f', {jobs} workers' if jobs > 1 else ''})..."
+    )
+    digests = _verify_digests(quick, jobs=jobs)
+    drifted = sorted(n for n, v in digests.items() if v != "identical")
     for name, verdict in sorted(digests.items()):
         print(f"  {name:10s} {verdict}")
 
@@ -210,9 +259,17 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument(
         "--out", metavar="PATH", default=None, help="report path (default: BENCH_sim.json)"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the digest-verification pass "
+        "(timed runs always stay serial)",
+    )
     args = parser.parse_args(argv)
     try:
-        run_bench(reps=args.reps, quick=args.quick, out_path=args.out)
+        run_bench(reps=args.reps, quick=args.quick, out_path=args.out, jobs=args.jobs)
     except RuntimeError as err:
         print(f"FAIL: {err}", file=sys.stderr)
         return 1

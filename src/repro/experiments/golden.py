@@ -61,10 +61,15 @@ GOLDEN_IDS = (
     "chaos",
     "failover",
     "observe",
+    # sensitivity runners are pinned too, so sweeping over them is
+    # cache-safe: a cache entry is only ever as trustworthy as the
+    # digest contract behind the experiment it stores
+    "sens_costs",
+    "sens_knockouts",
 )
 
 #: the scaled-down set the tier-1 suite recomputes on every run
-SHORT_IDS = ("figure9", "chaos", "failover")
+SHORT_IDS = ("figure9", "chaos", "failover", "sens_costs", "sens_knockouts")
 
 #: 10 simulated seconds: long enough for streams to settle and every
 #: chaos/failover fault window to open and clear, short enough for CI
@@ -167,8 +172,17 @@ def save_goldens(goldens: dict) -> None:
     _GOLDEN_PATH.write_text(json.dumps(goldens, indent=2, sort_keys=True) + "\n")
 
 
-def refresh(which: str = "short", seed: int = 42, verbose: bool = True) -> dict:
-    """Recompute and store one digest set; returns the updated file dict."""
+def refresh(
+    which: str = "short", seed: int = 42, verbose: bool = True, jobs: int = 1
+) -> dict:
+    """Recompute and store one digest set; returns the updated file dict.
+
+    ``jobs > 1`` fans the recomputation out across worker processes (no
+    cache — a refresh must recompute from scratch). Worker round-trips
+    are digest-faithful by the serialization contract of
+    :mod:`repro.experiments.report`, so the refreshed file is identical
+    whichever worker count produced it.
+    """
     goldens = load_goldens()
     if which == "short":
         ids, duration = SHORT_IDS, SHORT_DURATION_US
@@ -177,14 +191,32 @@ def refresh(which: str = "short", seed: int = 42, verbose: bool = True) -> dict:
     else:
         raise ValueError("which must be 'short' or 'full'")
     digests = {}
-    for name in ids:
-        # artifacts stay off disk during digest runs: the digest covers the
-        # result object, not the exporter side effects
-        digests[name] = compute_digest(
-            name, seed=seed, duration_us=duration, out_dir=None
-        )
+    if jobs > 1:
+        from repro.parallel import Job, SweepRunner
+
+        specs = [
+            Job(experiment=name, seed=seed, duration_us=duration) for name in ids
+        ]
+        report = SweepRunner(workers=jobs, cache=None).run(specs)
+        failed = [o for o in report.outcomes if not o.ok]
+        if failed:
+            raise RuntimeError(
+                "refresh workers failed: "
+                + ", ".join(f"{o.job.experiment} ({o.error})" for o in failed)
+            )
+        digests = {o.job.experiment: o.result_digest for o in report.outcomes}
         if verbose:
-            print(f"{which}:{name} = {digests[name]}")
+            for name in ids:
+                print(f"{which}:{name} = {digests[name]}")
+    else:
+        for name in ids:
+            # artifacts stay off disk during digest runs: the digest covers
+            # the result object, not the exporter side effects
+            digests[name] = compute_digest(
+                name, seed=seed, duration_us=duration, out_dir=None
+            )
+            if verbose:
+                print(f"{which}:{name} = {digests[name]}")
     goldens[which] = {
         "seed": seed,
         "duration_us": duration,
@@ -200,5 +232,9 @@ if __name__ == "__main__":  # pragma: no cover - maintenance CLI
     parser = argparse.ArgumentParser(description="refresh golden digests")
     parser.add_argument("--refresh", choices=["short", "full"], required=True)
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the recomputation fan-out",
+    )
     args = parser.parse_args()
-    refresh(args.refresh, seed=args.seed)
+    refresh(args.refresh, seed=args.seed, jobs=args.jobs)

@@ -1,0 +1,393 @@
+"""The sweep CLI: the evaluation matrix on N cores with a result cache.
+
+Three matrix presets, all riding :class:`~repro.parallel.SweepRunner`:
+
+* ``replicate`` (default) — experiments × seeds, merged into mean ± 95 %
+  CI rows per cell. ``sweep --jobs $(nproc)`` runs the 4-workload ×
+  5-seed matrix the acceptance bar names.
+* ``sensitivity`` — the cost-constant perturbation grid
+  (``sens_costs`` × scales) plus the mechanism-knockout runs
+  (``sens_knockouts`` × seeds).
+* ``scenarios`` — the chaos and failover campaign matrices, one job per
+  named scenario.
+
+Two artifacts land in ``--out`` (default ``out/sweep/``):
+
+* ``SWEEP_result.txt`` — the merged :class:`ExperimentResult` rendering
+  plus its golden digest. Deterministic: byte-identical across runs,
+  worker counts, and cache states (CI diffs it).
+* ``SWEEP_report.json`` — execution telemetry (wall clock, per-job
+  compute seconds / peak RSS / cold-import time, cache hit/miss/eviction
+  counts). Volatile by nature; never diffed.
+
+The single summary line printed last (jobs, hits, wall, est. speedup) is
+the CI-log breadcrumb.
+
+    python -m repro.experiments sweep --jobs 4
+    python -m repro.experiments sweep scenarios --duration 10000000 --jobs 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import statistics
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.parallel import Job, ResultCache, SweepReport, SweepRunner
+
+from .report import ExperimentResult
+
+__all__ = [
+    "DEFAULT_SWEEP_EXPERIMENTS",
+    "DEFAULT_SEEDS",
+    "DEFAULT_SCALES",
+    "replicate_jobs",
+    "sensitivity_jobs",
+    "scenario_jobs",
+    "merge_replicate",
+    "merge_matrix",
+    "write_sweep_artifacts",
+    "main",
+]
+
+#: the acceptance matrix: the four bench workloads
+DEFAULT_SWEEP_EXPERIMENTS = ("figure9", "chaos", "failover", "observe")
+
+#: replication factor for the default matrix
+DEFAULT_SEEDS = 5
+
+#: the cost-constant perturbation grid swept by ``sweep sensitivity``
+DEFAULT_SCALES = (1.25, 1.5, 1.75, 2.0)
+
+#: where the sweep artifacts land unless the caller overrides it
+DEFAULT_OUT_DIR = os.path.join("out", "sweep")
+
+
+# -- job matrices ------------------------------------------------------------
+
+
+def replicate_jobs(
+    experiments: Sequence[str],
+    seeds: int,
+    seed_base: int = 42,
+    duration_us: Optional[float] = None,
+) -> list[Job]:
+    """experiments × seeds, seed-major within each experiment."""
+    return [
+        Job(experiment=exp, seed=seed_base + k, duration_us=duration_us)
+        for exp in experiments
+        for k in range(seeds)
+    ]
+
+
+def sensitivity_jobs(
+    scales: Sequence[float] = DEFAULT_SCALES,
+    seeds: int = 2,
+    seed_base: int = 42,
+    duration_us: Optional[float] = None,
+) -> list[Job]:
+    """The perturbation grid: sens_costs × scales + sens_knockouts × seeds."""
+    jobs = [
+        Job(experiment="sens_costs", seed=seed_base, config={"scale": float(s)})
+        for s in scales
+    ]
+    jobs += [
+        Job(experiment="sens_knockouts", seed=seed_base + k, duration_us=duration_us)
+        for k in range(seeds)
+    ]
+    return jobs
+
+
+def scenario_jobs(
+    seed: int = 42, duration_us: Optional[float] = None
+) -> list[Job]:
+    """The chaos + failover campaign matrices, one job per scenario."""
+    from repro.faults import FAILOVER_SCENARIOS, SCENARIOS
+
+    jobs = [
+        Job(
+            experiment="chaos",
+            seed=seed,
+            duration_us=duration_us,
+            config={"scenarios": [name]},
+        )
+        for name in SCENARIOS
+    ]
+    jobs += [
+        Job(
+            experiment="failover",
+            seed=seed,
+            duration_us=duration_us,
+            config={"scenarios": [name]},
+        )
+        for name in FAILOVER_SCENARIOS
+    ]
+    return jobs
+
+
+# -- deterministic merges ----------------------------------------------------
+
+
+def _provenance_notes(result: ExperimentResult, report: SweepReport) -> None:
+    """Pin every job's digest into the merged notes (input job order), so
+    the merged result's own digest covers each cell byte for byte."""
+    for o in report.outcomes:
+        if o.ok:
+            result.notes.append(f"job {o.job.label}: result digest {o.result_digest}")
+        else:
+            result.notes.append(f"job {o.job.label}: FAILED ({o.error})")
+
+
+def merge_replicate(report: SweepReport, title: str) -> ExperimentResult:
+    """Mean ± 95 % CI per row label across an experiment's seed replicas.
+
+    Deterministic and order-independent: outcomes arrive in input job
+    order regardless of completion order, values are reduced with plain
+    float arithmetic, and failed replicas are excluded (and recorded in
+    the notes) rather than poisoning the mean.
+    """
+    merged = ExperimentResult(exp_id="Sweep: replicate", title=title)
+    by_exp: dict[str, list] = {}
+    order: list[str] = []
+    for o in report.outcomes:
+        key = o.job.experiment
+        if key not in by_exp:
+            by_exp[key] = []
+            order.append(key)
+        if o.ok:
+            by_exp[key].append(o.result)
+    for exp in order:
+        results = by_exp[exp]
+        if not results:
+            merged.notes.append(f"{exp}: every replica failed")
+            continue
+        template = results[0]
+        for row in template.rows:
+            values = []
+            for r in results:
+                try:
+                    values.append(r.row(row.label).measured)
+                except KeyError:
+                    pass
+            n = len(values)
+            mean = statistics.fmean(values)
+            ci = (
+                1.96 * statistics.stdev(values) / math.sqrt(n) if n > 1 else 0.0
+            )
+            merged.add_row(
+                f"{exp}: {row.label}",
+                mean,
+                unit=row.unit,
+                paper=row.paper,
+                note=f"mean of {n} seeds, 95% CI +/-{ci:.6g}",
+            )
+    _provenance_notes(merged, report)
+    return merged
+
+
+def merge_matrix(report: SweepReport, exp_id: str, title: str) -> ExperimentResult:
+    """Concatenate each cell's rows, prefixed by its job label."""
+    merged = ExperimentResult(exp_id=exp_id, title=title)
+    for o in report.outcomes:
+        if not o.ok:
+            continue
+        for row in o.result.rows:
+            merged.add_row(
+                f"[{o.job.label}] {row.label}",
+                row.measured,
+                unit=row.unit,
+                paper=row.paper,
+                note=row.note,
+            )
+    _provenance_notes(merged, report)
+    return merged
+
+
+# -- artifacts ---------------------------------------------------------------
+
+
+def write_sweep_artifacts(
+    out_dir: str,
+    merged: ExperimentResult,
+    report: SweepReport,
+    args_echo: dict,
+) -> list[str]:
+    """Write SWEEP_result.txt (deterministic) + SWEEP_report.json (telemetry)."""
+    from repro.parallel.cache import code_digest
+
+    from .golden import result_digest
+
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    merged_digest = result_digest(merged)
+
+    result_path = directory / "SWEEP_result.txt"
+    result_path.write_text(merged.render() + f"\nmerged digest: {merged_digest}\n")
+
+    report_path = directory / "SWEEP_report.json"
+    payload = {
+        "args": args_echo,
+        "code_digest": code_digest(),
+        "merged_digest": merged_digest,
+        "workers": report.workers,
+        "wall_s": report.wall_s,
+        "serial_estimate_s": report.serial_estimate_s,
+        "speedup_estimate": report.speedup_estimate,
+        "cache": report.cache_stats,
+        "summary": report.summary_line(),
+        "jobs": [
+            {
+                "label": o.job.label,
+                "job_digest": o.job.digest,
+                "experiment": o.job.experiment,
+                "seed": o.job.seed,
+                "duration_us": o.job.duration_us,
+                "config": o.job.config,
+                "status": o.status,
+                "attempts": o.attempts,
+                "compute_s": o.compute_s,
+                "import_s": o.import_s,
+                "peak_rss_kb": o.peak_rss_kb,
+                "result_digest": o.result_digest,
+                "error": o.error,
+            }
+            for o in report.outcomes
+        ],
+    }
+    report_path.write_text(json.dumps(payload, indent=2) + "\n")
+    return [str(result_path), str(report_path)]
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def _csv(text: str) -> list[str]:
+    return [t for t in (s.strip() for s in text.split(",")) if t]
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments sweep",
+        description="Multi-core experiment fan-out with a content-addressed "
+        "result cache.",
+    )
+    parser.add_argument(
+        "mode",
+        nargs="?",
+        choices=["replicate", "sensitivity", "scenarios"],
+        default="replicate",
+        help="which matrix to sweep (default: replicate)",
+    )
+    parser.add_argument(
+        "--experiments",
+        default=",".join(DEFAULT_SWEEP_EXPERIMENTS),
+        metavar="A,B,...",
+        help="replicate mode: experiment ids to replicate",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=DEFAULT_SEEDS, metavar="N",
+        help="replications per experiment (seed-base, seed-base+1, ...)",
+    )
+    parser.add_argument("--seed-base", type=int, default=42, metavar="S")
+    parser.add_argument(
+        "--scales",
+        default=",".join(str(s) for s in DEFAULT_SCALES),
+        metavar="X,Y,...",
+        help="sensitivity mode: cost-constant scale grid",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=None, metavar="US",
+        help="override simulated duration in µs (default: full runs)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (default: all cores)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="recompute every cell"
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache root (default: out/cache)",
+    )
+    parser.add_argument(
+        "--out", default=DEFAULT_OUT_DIR, metavar="DIR",
+        help="artifact directory; 'none' writes nothing",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=900.0, metavar="S",
+        help="per-job wall-clock budget in seconds",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="re-runs granted to a failed/crashed job",
+    )
+    parser.add_argument("--quiet", action="store_true", help="no progress lines")
+    args = parser.parse_args(argv)
+
+    if args.mode == "replicate":
+        experiments = _csv(args.experiments)
+        jobs = replicate_jobs(
+            experiments, args.seeds, args.seed_base, args.duration
+        )
+        title = (
+            f"{'x'.join(experiments)} x {args.seeds} seeds "
+            f"(base {args.seed_base})"
+        )
+    elif args.mode == "sensitivity":
+        jobs = sensitivity_jobs(
+            [float(s) for s in _csv(args.scales)],
+            seeds=max(1, args.seeds // 2),
+            seed_base=args.seed_base,
+            duration_us=args.duration,
+        )
+        title = "cost-constant grid + mechanism knockouts"
+    else:
+        jobs = scenario_jobs(seed=args.seed_base, duration_us=args.duration)
+        title = "chaos + failover campaign matrix"
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(root=Path(args.cache_dir)) if args.cache_dir else ResultCache()
+    runner = SweepRunner(
+        workers=args.jobs,
+        cache=cache,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        verbose=not args.quiet,
+    )
+    report = runner.run(jobs)
+
+    if args.mode == "replicate":
+        merged = merge_replicate(report, title)
+    elif args.mode == "sensitivity":
+        merged = merge_matrix(report, "Sweep: sensitivity", title)
+    else:
+        merged = merge_matrix(report, "Sweep: scenarios", title)
+
+    print(merged.render())
+    if args.out and args.out != "none":
+        args_echo = {
+            "mode": args.mode,
+            "experiments": _csv(args.experiments),
+            "seeds": args.seeds,
+            "seed_base": args.seed_base,
+            "duration_us": args.duration,
+            "no_cache": args.no_cache,
+        }
+        written = write_sweep_artifacts(args.out, merged, report, args_echo)
+        print(f"wrote {', '.join(written)}")
+    print(report.summary_line())
+
+    for outcome in report.failed:
+        print(f"FAILED {outcome.job.label}: {outcome.error}", file=sys.stderr)
+    return 1 if report.failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

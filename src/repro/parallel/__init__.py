@@ -1,0 +1,39 @@
+"""Parallel sweep execution: multi-core experiment fan-out + result cache.
+
+The paper's evaluation is a *matrix* — scheduler placement crossed with
+load levels, seeds, and fault scenarios — and every cell is a
+deterministic, seed-pinned simulation. Independent deterministic model
+evaluations are embarrassingly parallel, so this package fans them out
+across cores and never re-runs a cell whose inputs haven't changed:
+
+* :class:`~repro.parallel.job.Job` — a picklable spec of one experiment
+  cell (experiment id, seed, duration, config overrides) with a
+  canonical SHA-256 digest;
+* :class:`~repro.parallel.cache.ResultCache` — a content-addressed
+  on-disk cache under ``out/cache/`` keyed by (job digest, code digest
+  over ``src/repro``), with hit/miss/eviction stats and corruption
+  self-healing;
+* :class:`~repro.parallel.runner.SweepRunner` — a
+  ``ProcessPoolExecutor`` fan-out with spawn-fresh workers, per-job
+  timeout/retry, and crash isolation (one dead cell reports instead of
+  killing the sweep), merging results back in deterministic input order.
+
+The determinism contract: a sweep's merged output is bit-identical
+whether it ran on 1 worker or N — proven against the existing golden
+digests (a worker-computed ``figure9`` cell reproduces the checked-in
+``golden_digests.json`` entry byte for byte).
+"""
+
+from .cache import CacheStats, ResultCache, code_digest
+from .job import Job
+from .runner import JobOutcome, SweepReport, SweepRunner
+
+__all__ = [
+    "Job",
+    "ResultCache",
+    "CacheStats",
+    "code_digest",
+    "SweepRunner",
+    "SweepReport",
+    "JobOutcome",
+]

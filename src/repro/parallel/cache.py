@@ -1,0 +1,137 @@
+"""Content-addressed on-disk result cache for sweep jobs.
+
+Layout: ``<root>/<code_digest[:16]>/<job_digest>.json`` — one JSON entry
+per (code version, job content) pair. The code digest covers every
+``.py`` file under ``src/repro``, so editing any source invalidates the
+whole cache by construction (old entries simply live in a directory no
+current run looks at); the job digest covers experiment id, seed,
+duration, and config overrides.
+
+Every entry carries the SHA-256 of its stored result
+(:func:`~repro.experiments.golden.result_digest` over the reconstructed
+:class:`~repro.experiments.report.ExperimentResult`). ``get`` re-derives
+that digest on load, so a corrupted, truncated, or hand-tampered entry
+is detected, evicted (unlinked), and transparently recomputed by the
+runner — the cache can only ever serve bytes that round-trip to exactly
+what the simulation produced.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from .job import Job
+
+__all__ = ["ResultCache", "CacheStats", "code_digest", "DEFAULT_CACHE_ROOT"]
+
+#: where sweep results land unless the caller overrides it
+DEFAULT_CACHE_ROOT = os.path.join("out", "cache")
+
+
+@functools.lru_cache(maxsize=1)
+def code_digest() -> str:
+    """SHA-256 over every ``.py`` file under ``src/repro`` (path + bytes).
+
+    Cached per process: the tree is read once, not once per job.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    h = hashlib.sha256()
+    for path in sorted(root.rglob("*.py"), key=lambda p: p.relative_to(root).as_posix()):
+        if "__pycache__" in path.parts:
+            continue
+        h.update(path.relative_to(root).as_posix().encode("utf-8"))
+        h.update(b"\x00")
+        h.update(path.read_bytes())
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    puts: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "puts": self.puts,
+        }
+
+
+@dataclass
+class ResultCache:
+    """The on-disk cache; ``code`` defaults to the live tree's digest."""
+
+    root: Path = Path(DEFAULT_CACHE_ROOT)
+    code: Optional[str] = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        if self.code is None:
+            self.code = code_digest()
+
+    def path_for(self, job: Job) -> Path:
+        return self.root / self.code[:16] / f"{job.digest}.json"
+
+    # -- read ----------------------------------------------------------------
+    def get(self, job: Job) -> Optional[dict]:
+        """The validated entry for *job*, or None (miss / evicted corrupt)."""
+        path = self.path_for(job)
+        if not path.exists():
+            self.stats.misses += 1
+            return None
+        try:
+            entry = json.loads(path.read_text())
+            self._validate(job, entry)
+        except Exception:
+            # corrupted / truncated / tampered / stale-schema: self-heal
+            path.unlink(missing_ok=True)
+            self.stats.evictions += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return entry
+
+    def _validate(self, job: Job, entry: dict) -> None:
+        from repro.experiments.golden import result_digest
+        from repro.experiments.report import ExperimentResult
+
+        if entry["job_digest"] != job.digest:
+            raise ValueError("entry is for a different job")
+        if entry["code_digest"] != self.code:
+            raise ValueError("entry is for a different code version")
+        result = ExperimentResult.from_dict(entry["result"])
+        if result_digest(result) != entry["result_digest"]:
+            raise ValueError("stored result does not match its digest")
+
+    # -- write ---------------------------------------------------------------
+    def put(self, job: Job, result_dict: dict, result_digest: str, meta: dict) -> Path:
+        """Store one computed result; atomic (write temp + rename)."""
+        path = self.path_for(job)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "job_digest": job.digest,
+            "job": job.canonical(),
+            "code_digest": self.code,
+            "result": result_dict,
+            "result_digest": result_digest,
+            **meta,
+        }
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(entry) + "\n")
+        os.replace(tmp, path)
+        self.stats.puts += 1
+        return path

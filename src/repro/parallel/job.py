@@ -1,0 +1,66 @@
+"""The :class:`Job` spec: one experiment cell of a sweep matrix.
+
+A job names *what* to compute — experiment, seed, duration, config
+overrides — never *how* (timeout, retries, worker count are execution
+policy and excluded from the digest). Two jobs with the same canonical
+form are the same computation, whatever order their config dicts were
+built in; the digest is the cache key and the dedup key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["Job"]
+
+
+@dataclass
+class Job:
+    """One deterministic experiment evaluation.
+
+    ``experiment`` is either an id in the experiment ``REGISTRY``
+    (``"figure9"``) or a dotted callable path ``"module:function"`` for
+    custom cells; either way the callable must return an
+    :class:`~repro.experiments.report.ExperimentResult`. ``config``
+    entries are passed as keyword overrides (filtered to the runner's
+    signature, exactly like ``golden.compute_result``) and must be
+    JSON-serializable so the digest is well defined.
+    """
+
+    experiment: str
+    seed: int = 42
+    duration_us: Optional[float] = None
+    config: dict[str, Any] = field(default_factory=dict)
+    #: execution policy — NOT part of the digest
+    timeout_s: Optional[float] = None
+    retries: Optional[int] = None
+
+    def canonical(self) -> dict:
+        """The digestable content of this job (policy fields excluded)."""
+        return {
+            "experiment": self.experiment,
+            "seed": int(self.seed),
+            "duration_us": None if self.duration_us is None else float(self.duration_us),
+            "config": {str(k): self.config[k] for k in sorted(self.config)},
+        }
+
+    @property
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON form; insensitive to config order."""
+        blob = json.dumps(
+            self.canonical(), sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    @property
+    def label(self) -> str:
+        """Human-readable cell name for progress lines and reports."""
+        parts = [self.experiment, f"seed={self.seed}"]
+        if self.duration_us is not None:
+            parts.append(f"T={self.duration_us:g}us")
+        for k in sorted(self.config):
+            parts.append(f"{k}={self.config[k]!r}")
+        return " ".join(parts)

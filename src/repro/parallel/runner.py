@@ -1,0 +1,255 @@
+"""The sweep runner: fan jobs out across cores, merge back in order.
+
+``SweepRunner.run`` resolves cache hits first (cheap, serial IO), then
+fans the misses out over a spawn-context ``ProcessPoolExecutor``. Only
+job payload dicts cross the process boundary — never environments,
+services, or results-in-progress — so the pool is immune to pickling
+surprises and every worker computes from a cold, identical world.
+
+Failure containment, in layers:
+
+* a job that *raises* (including a ``SIGALRM`` timeout) comes back as an
+  error payload from the worker — the pool keeps running;
+* a worker that *dies* (segfault, ``os._exit``) breaks the pool; the
+  runner catches ``BrokenProcessPool``, rebuilds the pool, and retries
+  every unresolved job (bounded by its retry budget) — one murdered
+  cell reports as failed instead of killing the sweep;
+* outcomes are recorded by input index, so the merged view is in
+  deterministic job order no matter the completion order.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from typing import Optional, Sequence
+
+from .cache import ResultCache
+from .job import Job
+from .worker import run_job
+
+__all__ = ["SweepRunner", "SweepReport", "JobOutcome"]
+
+
+@dataclass
+class JobOutcome:
+    """One job's resolution: served from cache, computed, or failed."""
+
+    job: Job
+    status: str  # "hit" | "ran" | "failed"
+    result: Optional[object] = None  # ExperimentResult on success
+    result_digest: Optional[str] = None
+    error: Optional[str] = None
+    attempts: int = 0
+    compute_s: float = 0.0
+    import_s: float = 0.0
+    peak_rss_kb: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("hit", "ran")
+
+
+@dataclass
+class SweepReport:
+    """Everything one sweep produced, in input job order."""
+
+    outcomes: list[JobOutcome]
+    wall_s: float
+    workers: int
+    cache_stats: Optional[dict] = None
+
+    @property
+    def failed(self) -> list[JobOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "hit")
+
+    @property
+    def ran(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "ran")
+
+    @property
+    def serial_estimate_s(self) -> float:
+        """Sum of per-job compute seconds (cache entries carry their
+        original compute time), i.e. what one core would have paid."""
+        return sum(o.compute_s for o in self.outcomes)
+
+    @property
+    def speedup_estimate(self) -> float:
+        return self.serial_estimate_s / self.wall_s if self.wall_s > 0 else 0.0
+
+    def summary_line(self) -> str:
+        """The one-line sweep summary for CI logs."""
+        n = len(self.outcomes)
+        rate = (100.0 * self.hits / n) if n else 0.0
+        return (
+            f"sweep: {n} jobs ({self.hits} cached, {self.ran} ran, "
+            f"{len(self.failed)} failed) workers={self.workers} "
+            f"hit-rate={rate:.0f}% wall={self.wall_s:.2f}s "
+            f"serial-est={self.serial_estimate_s:.2f}s "
+            f"speedup-est={self.speedup_estimate:.2f}x"
+        )
+
+
+class SweepRunner:
+    """Execute a list of jobs on ``workers`` cores with caching and retry."""
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        timeout_s: Optional[float] = None,
+        retries: int = 1,
+        verbose: bool = False,
+    ) -> None:
+        import os
+
+        self.workers = max(1, workers if workers is not None else (os.cpu_count() or 1))
+        self.cache = cache
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.verbose = verbose
+
+    # -- internals -----------------------------------------------------------
+    def _payload(self, job: Job) -> dict:
+        timeout = job.timeout_s if job.timeout_s is not None else self.timeout_s
+        return {"job": job.canonical(), "timeout_s": timeout}
+
+    def _note(self, text: str) -> None:
+        if self.verbose:
+            print(text, file=sys.stderr)
+
+    def _from_cache(self, job: Job, entry: dict) -> JobOutcome:
+        from repro.experiments.report import ExperimentResult
+
+        return JobOutcome(
+            job=job,
+            status="hit",
+            result=ExperimentResult.from_dict(entry["result"]),
+            result_digest=entry["result_digest"],
+            compute_s=entry.get("compute_s", 0.0),
+            import_s=entry.get("import_s", 0.0),
+            peak_rss_kb=entry.get("peak_rss_kb", 0),
+        )
+
+    def _from_payload(self, job: Job, payload: dict, attempts: int) -> JobOutcome:
+        from repro.experiments.report import ExperimentResult
+
+        result = ExperimentResult.from_dict(payload["result"])
+        outcome = JobOutcome(
+            job=job,
+            status="ran",
+            result=result,
+            result_digest=payload["result_digest"],
+            attempts=attempts,
+            compute_s=payload.get("compute_s", 0.0),
+            import_s=payload.get("import_s", 0.0),
+            peak_rss_kb=payload.get("peak_rss_kb", 0),
+        )
+        if self.cache is not None:
+            meta = {
+                "compute_s": outcome.compute_s,
+                "import_s": outcome.import_s,
+                "peak_rss_kb": outcome.peak_rss_kb,
+            }
+            self.cache.put(job, payload["result"], payload["result_digest"], meta)
+        return outcome
+
+    # -- the sweep -----------------------------------------------------------
+    def run(self, jobs: Sequence[Job]) -> SweepReport:
+        t_start = time.perf_counter()
+        outcomes: list[Optional[JobOutcome]] = [None] * len(jobs)
+
+        # 1) serve what the cache already holds
+        pending: list[tuple[int, int]] = []  # (job index, attempts so far)
+        for i, job in enumerate(jobs):
+            entry = self.cache.get(job) if self.cache is not None else None
+            if entry is not None:
+                outcomes[i] = self._from_cache(job, entry)
+                self._note(f"[cache] {job.label}")
+            else:
+                pending.append((i, 0))
+
+        # 2) fan the rest out; rebuild the pool after a hard worker death
+        while pending:
+            batch, pending = pending, []
+            n_workers = min(self.workers, len(batch))
+            ctx = get_context("spawn")
+            broken = False
+            futs = {}
+            with ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx) as pool:
+                for i, attempts in batch:
+                    fut = pool.submit(run_job, self._payload(jobs[i]))
+                    futs[fut] = (i, attempts)
+                try:
+                    for fut in as_completed(futs):
+                        i, attempts = futs[fut]
+                        payload = fut.result()
+                        self._settle(jobs[i], i, attempts, payload, outcomes, pending)
+                except BrokenProcessPool:
+                    broken = True
+            if broken:
+                # a worker died mid-batch; every unresolved job of this batch
+                # is retried (bounded) against a fresh pool
+                for fut, (i, attempts) in futs.items():
+                    if outcomes[i] is not None or any(p[0] == i for p in pending):
+                        continue
+                    if attempts < self._budget(jobs[i]):
+                        pending.append((i, attempts + 1))
+                        self._note(f"[retry] {jobs[i].label} (worker died)")
+                    else:
+                        outcomes[i] = JobOutcome(
+                            job=jobs[i],
+                            status="failed",
+                            error="worker process died (pool broken)",
+                            attempts=attempts + 1,
+                        )
+                        self._note(f"[fail ] {jobs[i].label}: worker died")
+
+        done = [o for o in outcomes if o is not None]
+        assert len(done) == len(jobs), "every job must resolve to an outcome"
+        return SweepReport(
+            outcomes=done,
+            wall_s=time.perf_counter() - t_start,
+            workers=self.workers,
+            cache_stats=self.cache.stats.as_dict() if self.cache is not None else None,
+        )
+
+    def _budget(self, job: Job) -> int:
+        return job.retries if job.retries is not None else self.retries
+
+    def _settle(
+        self,
+        job: Job,
+        i: int,
+        attempts: int,
+        payload: dict,
+        outcomes: list,
+        pending: list,
+    ) -> None:
+        if payload.get("ok"):
+            try:
+                outcomes[i] = self._from_payload(job, payload, attempts + 1)
+                self._note(f"[ran  ] {job.label} ({outcomes[i].compute_s:.2f}s)")
+                return
+            except Exception as exc:  # malformed payload: treat as job failure
+                payload = {"ok": False, "error": f"bad result payload: {exc}"}
+        if attempts < self._budget(job):
+            pending.append((i, attempts + 1))
+            self._note(f"[retry] {job.label}: {payload.get('error')}")
+        else:
+            outcomes[i] = JobOutcome(
+                job=job,
+                status="failed",
+                error=payload.get("error", "unknown worker error"),
+                attempts=attempts + 1,
+                compute_s=payload.get("compute_s", 0.0),
+            )
+            self._note(f"[fail ] {job.label}: {payload.get('error')}")

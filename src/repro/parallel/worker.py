@@ -1,0 +1,125 @@
+"""The sweep worker: runs one :class:`~repro.parallel.job.Job` in-process.
+
+This module is what spawn-fresh pool workers import to unpickle the task
+function, so it stays stdlib-only at module level — the heavy
+``repro.experiments`` import happens inside :func:`run_job` and is
+*measured* (the worker's cold-import time rides along in the payload,
+next to peak RSS from ``resource.getrusage``).
+
+Everything crossing the process boundary is plain data: the payload in
+is a job's canonical dict plus a timeout, the payload out is a serialized
+:class:`~repro.experiments.report.ExperimentResult` (or an error record —
+a raising job *reports*, it never kills the pool). Per-job timeouts are
+enforced inside the worker with ``SIGALRM``, so a wedged simulation
+cannot stall the sweep either.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import signal
+import time
+import traceback
+from typing import Any
+
+__all__ = ["run_job", "JobTimeout"]
+
+
+class JobTimeout(Exception):
+    """Raised inside a worker when a job overruns its time budget."""
+
+
+def _on_alarm(signum, frame):  # pragma: no cover - fires only on overrun
+    raise JobTimeout("job exceeded its timeout")
+
+
+def _resolve_and_run(canonical: dict) -> Any:
+    """Run the experiment a canonical job dict names; returns its result."""
+    from repro.experiments import golden
+
+    experiment = canonical["experiment"]
+    seed = canonical["seed"]
+    duration_us = canonical["duration_us"]
+    config = canonical.get("config", {})
+    if ":" in experiment:
+        module_name, attr = experiment.split(":", 1)
+        runner = getattr(importlib.import_module(module_name), attr)
+        params = inspect.signature(runner).parameters
+        kwargs = {}
+        if "seed" in params:
+            kwargs["seed"] = seed
+        if duration_us is not None and "duration_us" in params:
+            kwargs["duration_us"] = duration_us
+        if "out_dir" in params:
+            kwargs["out_dir"] = None
+        kwargs.update({k: v for k, v in config.items() if k in params})
+        return runner(**kwargs)
+    # registry experiments go through the same path the golden digests use
+    return golden.compute_result(
+        experiment, seed=seed, duration_us=duration_us, out_dir=None, **config
+    )
+
+
+def run_job(payload: dict) -> dict:
+    """Execute one job payload; always returns (never raises) a dict.
+
+    Success: ``{"ok": True, "result": <dict>, "result_digest": <sha256>,
+    "compute_s", "import_s", "peak_rss_kb"}``. Failure: ``{"ok": False,
+    "error", "traceback", ...}`` — crash isolation is this envelope.
+    """
+    canonical = payload["job"]
+    timeout_s = payload.get("timeout_s")
+
+    t0 = time.perf_counter()
+    from repro.experiments.golden import result_digest  # noqa: F401 (heavy import, timed)
+
+    import_s = time.perf_counter() - t0
+
+    use_alarm = timeout_s is not None and hasattr(signal, "SIGALRM")
+    previous = None
+    if use_alarm:
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, float(timeout_s))
+    try:
+        t0 = time.perf_counter()
+        result = _resolve_and_run(canonical)
+        compute_s = time.perf_counter() - t0
+        from repro.experiments.report import ExperimentResult
+
+        if not isinstance(result, ExperimentResult):
+            raise TypeError(
+                f"{canonical['experiment']} returned {type(result).__name__}, "
+                "not ExperimentResult"
+            )
+        out = {
+            "ok": True,
+            "result": result.to_dict(),
+            "result_digest": result_digest(result),
+            "compute_s": compute_s,
+        }
+    except Exception as exc:
+        out = {
+            "ok": False,
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+            "compute_s": time.perf_counter() - t0,
+        }
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+
+    out["import_s"] = import_s
+    out["peak_rss_kb"] = _peak_rss_kb()
+    return out
+
+
+def _peak_rss_kb() -> int:
+    """This process's peak resident set size in kB (0 where unsupported)."""
+    try:
+        import resource
+
+        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    except Exception:  # pragma: no cover - non-POSIX
+        return 0

@@ -27,6 +27,7 @@ from typing import Any, Callable, Generator, Iterable, Optional
 from .errors import SimulationError, StopSimulation
 from .events import AllOf, AnyOf, Event, Timeout
 from .process import Process
+from .rng import RandomStreams
 
 __all__ = ["Environment", "US", "MS", "S"]
 
@@ -48,15 +49,25 @@ class Environment:
     ----------
     initial_time:
         Starting clock value in microseconds.
+    seed:
+        When given, attaches an ambient
+        :class:`~repro.sim.rng.RandomStreams` family as ``env.rng``, so
+        every stochastic component of a run can derive its named
+        substream from one explicit experiment seed instead of being
+        seeded ad hoc (or not at all). ``None`` leaves ``env.rng`` as
+        ``None`` — existing call sites that pass their own RNG families
+        are unaffected.
     """
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(self, initial_time: float = 0.0, seed: Optional[int] = None) -> None:
         #: current simulated time in microseconds; written only by the
         #: kernel (``step``/``run``), read everywhere
         self.now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self.active_process: Optional[Process] = None
+        #: ambient seeded RNG family (None unless a seed was given)
+        self.rng = None if seed is None else RandomStreams(seed)
         # Pre-resolved per-environment hook table. Both planes bind into a
         # slot that exists from construction, so the ~40 datapath hooks
         # across hw/net/dvcm/core/server cost one plain attribute load when

@@ -1,0 +1,64 @@
+"""Serialization round-trip: digests must survive to_dict/JSON/from_dict.
+
+This is the contract the result cache and the process-pool boundary both
+stand on: a result that crosses either one must digest identically to
+the in-process original, bit for bit.
+"""
+
+import json
+import math
+
+import numpy as np
+
+from repro.experiments.golden import compute_result, result_digest
+from repro.experiments.report import ExperimentResult, Row, Series
+
+
+def roundtrip(result: ExperimentResult) -> ExperimentResult:
+    return ExperimentResult.from_dict(
+        json.loads(json.dumps(result.to_dict()))
+    )
+
+
+def test_synthetic_result_roundtrips_exactly():
+    r = ExperimentResult(exp_id="rt", title="round trip")
+    r.add_row("plain", 1.5, "µs", paper=2.0, note="a note")
+    r.add_row("awkward float", 0.1 + 0.2, "x")  # 0.30000000000000004
+    r.add_row("huge", 1.23456789e18, "bps")
+    r.add_row("no paper", 7.0)
+    r.series.append(
+        Series("s", np.array([0.0, 1e-9, 3.14159]), np.array([1.0, 2.0, 3.0]))
+    )
+    r.notes.append("note one")
+    assert result_digest(roundtrip(r)) == result_digest(r)
+
+
+def test_nan_series_roundtrips_exactly():
+    # NaN is not JSON, but float64 tobytes() in the digest covers it, and
+    # Series.to_dict goes through tolist() -> json turns nan into NaN
+    # literal only via allow_nan (default True in json.dumps)
+    r = ExperimentResult(exp_id="rt-nan", title="nan series")
+    r.series.append(Series("gaps", np.array([0.0, 1.0]), np.array([math.nan, 2.0])))
+    rt = roundtrip(r)
+    assert result_digest(rt) == result_digest(r)
+    assert math.isnan(rt.series[0].y[0])
+
+
+def test_real_experiment_roundtrips_exactly():
+    r = compute_result("sens_costs", seed=42)
+    assert result_digest(roundtrip(r)) == result_digest(r)
+
+
+def test_row_values_are_plain_floats():
+    """The repr-based digest relies on this: a numpy scalar would repr as
+    np.float64(x) and silently fork serial vs parallel digests."""
+    r = compute_result("sens_costs", seed=42)
+    for row in r.rows:
+        assert type(row.measured) is float, row.label
+
+
+def test_row_dict_shape():
+    row = Row(label="l", measured=1.0, unit="u", paper=2.0, note="n")
+    d = row.to_dict()
+    assert d == {"label": "l", "measured": 1.0, "unit": "u", "paper": 2.0, "note": "n"}
+    assert Row.from_dict(d) == row

@@ -1,0 +1,49 @@
+"""Dotted-path test experiments for worker fault-tolerance tests.
+
+The sweep worker resolves ``"module:function"`` experiment ids, which is
+how these land inside spawn-fresh worker processes (monkeypatching the
+parent's REGISTRY would not survive the process boundary).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+
+def _tiny(seed: int = 0, tag: str = "ok"):
+    from repro.experiments.report import ExperimentResult
+
+    result = ExperimentResult(exp_id=f"crashers.{tag}", title="tiny test cell")
+    result.add_row("seed", float(seed))
+    return result
+
+
+def ok(seed: int = 0):
+    """A well-behaved, instant experiment."""
+    return _tiny(seed, "ok")
+
+
+def boom(seed: int = 0):
+    """Raises — must come back as an error payload, not kill the pool."""
+    raise RuntimeError("boom")
+
+
+def die(seed: int = 0):
+    """Kills the worker process outright — breaks the pool."""
+    os._exit(13)
+
+
+def hang(seed: int = 0):
+    """Sleeps far past any test timeout — exercises the SIGALRM budget."""
+    time.sleep(300)
+    return _tiny(seed, "hang")  # pragma: no cover - alarm fires first
+
+
+def flaky(seed: int = 0, marker: str = ""):
+    """Fails on the first attempt (creates *marker*), succeeds after."""
+    if marker and not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        raise RuntimeError("first attempt fails")
+    return _tiny(seed, "flaky")

@@ -1,0 +1,106 @@
+"""The content-addressed result cache: hits, misses, self-healing."""
+
+import json
+
+import pytest
+
+from repro.experiments.golden import result_digest
+from repro.experiments.report import ExperimentResult
+from repro.parallel import Job, ResultCache, code_digest
+
+
+def tiny_result(value: float = 1.0) -> ExperimentResult:
+    r = ExperimentResult(exp_id="cache-test", title="tiny")
+    r.add_row("value", value, "unit")
+    return r
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(root=tmp_path / "cache")
+
+
+def put(cache, job, value=1.0):
+    result = tiny_result(value)
+    cache.put(job, result.to_dict(), result_digest(result), {"compute_s": 0.25})
+    return result
+
+
+class TestCodeDigest:
+    def test_is_sha256_hex(self):
+        digest = code_digest()
+        assert len(digest) == 64
+        int(digest, 16)
+
+    def test_stable_within_process(self):
+        assert code_digest() == code_digest()
+
+
+class TestHitsAndMisses:
+    def test_hit_on_identical_job(self, cache):
+        job = Job(experiment="x", seed=1, config={"a": 1})
+        result = put(cache, job)
+        entry = cache.get(Job(experiment="x", seed=1, config={"a": 1}))
+        assert entry is not None
+        assert entry["result_digest"] == result_digest(result)
+        assert ExperimentResult.from_dict(entry["result"]).row("value").measured == 1.0
+        assert cache.stats.hits == 1 and cache.stats.misses == 0
+
+    def test_miss_on_changed_seed(self, cache):
+        put(cache, Job(experiment="x", seed=1))
+        assert cache.get(Job(experiment="x", seed=2)) is None
+        assert cache.stats.misses == 1
+
+    def test_miss_on_changed_config(self, cache):
+        put(cache, Job(experiment="x", seed=1, config={"a": 1}))
+        assert cache.get(Job(experiment="x", seed=1, config={"a": 2})) is None
+
+    def test_miss_on_changed_code_digest(self, tmp_path):
+        job = Job(experiment="x", seed=1)
+        old = ResultCache(root=tmp_path / "cache", code="a" * 64)
+        put(old, job)
+        assert old.get(job) is not None
+        new = ResultCache(root=tmp_path / "cache", code="b" * 64)
+        assert new.get(job) is None
+        assert new.stats.misses == 1
+        # the old code version's entry is untouched (different directory)
+        assert old.path_for(job).exists()
+
+
+class TestSelfHealing:
+    def test_truncated_entry_is_evicted(self, cache):
+        job = Job(experiment="x", seed=1)
+        put(cache, job)
+        path = cache.path_for(job)
+        path.write_text(path.read_text()[:40])
+        assert cache.get(job) is None
+        assert not path.exists(), "corrupt entry must be unlinked"
+        assert cache.stats.evictions == 1
+
+    def test_tampered_result_is_evicted(self, cache):
+        """Valid JSON whose stored result no longer matches its digest."""
+        job = Job(experiment="x", seed=1)
+        put(cache, job)
+        path = cache.path_for(job)
+        entry = json.loads(path.read_text())
+        entry["result"]["rows"][0]["measured"] = 999.0
+        path.write_text(json.dumps(entry))
+        assert cache.get(job) is None
+        assert cache.stats.evictions == 1
+
+    def test_recompute_after_eviction_restores_the_entry(self, cache):
+        job = Job(experiment="x", seed=1)
+        put(cache, job)
+        cache.path_for(job).write_text("garbage")
+        assert cache.get(job) is None
+        put(cache, job)  # the runner recomputes and re-stores
+        assert cache.get(job) is not None
+
+    def test_wrong_job_entry_is_evicted(self, cache):
+        """An entry renamed over another job's key fails validation."""
+        a, b = Job(experiment="x", seed=1), Job(experiment="x", seed=2)
+        put(cache, a)
+        cache.path_for(b).parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for(a).rename(cache.path_for(b))
+        assert cache.get(b) is None
+        assert cache.stats.evictions == 1

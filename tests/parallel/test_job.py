@@ -1,0 +1,52 @@
+"""Job spec: canonical form and digest semantics."""
+
+import pytest
+
+from repro.parallel import Job
+
+
+class TestJobDigest:
+    def test_stable_across_instances(self):
+        a = Job(experiment="figure9", seed=42, duration_us=1e7)
+        b = Job(experiment="figure9", seed=42, duration_us=1e7)
+        assert a.digest == b.digest
+
+    def test_config_order_insensitive(self):
+        a = Job(experiment="chaos", config={"a": 1, "b": [2, 3]})
+        b = Job(experiment="chaos", config={"b": [2, 3], "a": 1})
+        assert a.digest == b.digest
+
+    @pytest.mark.parametrize(
+        "other",
+        [
+            Job(experiment="figure10", seed=42, duration_us=1e7),
+            Job(experiment="figure9", seed=43, duration_us=1e7),
+            Job(experiment="figure9", seed=42, duration_us=2e7),
+            Job(experiment="figure9", seed=42, duration_us=1e7, config={"x": 1}),
+        ],
+    )
+    def test_content_changes_move_the_digest(self, other):
+        base = Job(experiment="figure9", seed=42, duration_us=1e7)
+        assert base.digest != other.digest
+
+    def test_policy_fields_do_not_move_the_digest(self):
+        base = Job(experiment="figure9", seed=42)
+        tuned = Job(experiment="figure9", seed=42, timeout_s=5.0, retries=3)
+        assert base.digest == tuned.digest
+
+    def test_int_vs_float_duration_agree(self):
+        # canonicalization coerces duration to float: 1e7 == 10_000_000
+        assert (
+            Job(experiment="figure9", duration_us=10_000_000).digest
+            == Job(experiment="figure9", duration_us=1e7).digest
+        )
+
+    def test_non_json_config_rejected(self):
+        with pytest.raises(TypeError):
+            Job(experiment="figure9", config={"bad": object()}).digest
+
+    def test_label_names_the_cell(self):
+        job = Job(experiment="chaos", seed=7, duration_us=1e7, config={"k": 2})
+        assert "chaos" in job.label
+        assert "seed=7" in job.label
+        assert "k=2" in job.label

@@ -1,0 +1,140 @@
+"""SweepRunner: fidelity, determinism, and failure containment.
+
+The pool tests use the dotted-path experiments in
+``tests.parallel.crashers`` — tiny cells that misbehave on command —
+because a spawn-fresh worker can import them by name, and because real
+experiments would make every pool round-trip pay a full simulation.
+"""
+
+import pytest
+
+from repro.experiments import golden
+from repro.parallel import Job, ResultCache, SweepRunner
+from repro.parallel.worker import run_job
+
+OK = "tests.parallel.crashers:ok"
+BOOM = "tests.parallel.crashers:boom"
+DIE = "tests.parallel.crashers:die"
+HANG = "tests.parallel.crashers:hang"
+FLAKY = "tests.parallel.crashers:flaky"
+
+
+def ok_jobs(n=3):
+    return [Job(experiment=OK, seed=s) for s in range(n)]
+
+
+class TestWorkerFidelity:
+    def test_roundtrip_matches_in_process_golden_digest(self):
+        """A worker-computed result digests identically to the in-process
+        path the golden suite uses — the core serial==parallel claim."""
+        payload = run_job({"job": Job(experiment="sens_costs", seed=42).canonical()})
+        assert payload["ok"], payload.get("error")
+        expected = golden.result_digest(golden.compute_result("sens_costs", seed=42))
+        assert payload["result_digest"] == expected
+
+    def test_error_envelope_never_raises(self):
+        payload = run_job({"job": Job(experiment=BOOM).canonical()})
+        assert payload["ok"] is False
+        assert "RuntimeError: boom" in payload["error"]
+        assert "traceback" in payload
+
+    def test_metrics_ride_along(self):
+        payload = run_job({"job": Job(experiment=OK).canonical()})
+        assert payload["import_s"] >= 0.0
+        assert payload["peak_rss_kb"] > 0
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial(self):
+        jobs = ok_jobs(4)
+        serial = SweepRunner(workers=1, cache=None).run(jobs)
+        parallel = SweepRunner(workers=2, cache=None).run(jobs)
+        assert [o.status for o in serial.outcomes] == ["ran"] * 4
+        assert [o.result_digest for o in serial.outcomes] == [
+            o.result_digest for o in parallel.outcomes
+        ]
+
+    def test_outcomes_in_input_order(self):
+        jobs = [Job(experiment=OK, seed=s) for s in (7, 3, 5)]
+        report = SweepRunner(workers=2, cache=None).run(jobs)
+        assert [o.job.seed for o in report.outcomes] == [7, 3, 5]
+
+
+class TestFailureContainment:
+    def test_raising_job_reports_without_killing_the_sweep(self):
+        jobs = [Job(experiment=OK, seed=0), Job(experiment=BOOM, retries=0)]
+        report = SweepRunner(workers=2, cache=None).run(jobs)
+        assert report.outcomes[0].ok
+        assert report.outcomes[1].status == "failed"
+        assert "RuntimeError: boom" in report.outcomes[1].error
+
+    def test_dead_worker_fails_only_its_job(self):
+        jobs = [
+            Job(experiment=OK, seed=0),
+            Job(experiment=DIE, retries=0),
+            Job(experiment=OK, seed=1),
+        ]
+        report = SweepRunner(workers=2, cache=None, retries=1).run(jobs)
+        by_exp = {o.job.experiment: o for o in report.outcomes}
+        assert by_exp[DIE].status == "failed"
+        assert "died" in by_exp[DIE].error
+        assert by_exp[OK].ok  # survivors completed despite the broken pool
+
+    def test_timeout_budget_enforced(self):
+        jobs = [Job(experiment=HANG, timeout_s=1.0, retries=0)]
+        report = SweepRunner(workers=1, cache=None).run(jobs)
+        assert report.outcomes[0].status == "failed"
+        assert "JobTimeout" in report.outcomes[0].error
+
+    def test_flaky_job_succeeds_on_retry(self, tmp_path):
+        marker = tmp_path / "first-attempt"
+        jobs = [Job(experiment=FLAKY, config={"marker": str(marker)}, retries=1)]
+        report = SweepRunner(workers=1, cache=None).run(jobs)
+        assert report.outcomes[0].status == "ran"
+        assert report.outcomes[0].attempts == 2
+        assert marker.exists()
+
+
+class TestCacheIntegration:
+    def test_second_run_is_all_hits_with_identical_digests(self, tmp_path):
+        jobs = ok_jobs(3)
+        cache = ResultCache(root=tmp_path / "cache")
+        cold = SweepRunner(workers=1, cache=cache).run(jobs)
+        assert cold.ran == 3 and cold.hits == 0
+        warm = SweepRunner(workers=1, cache=ResultCache(root=tmp_path / "cache")).run(jobs)
+        assert warm.hits == 3 and warm.ran == 0
+        assert [o.result_digest for o in cold.outcomes] == [
+            o.result_digest for o in warm.outcomes
+        ]
+
+    def test_corrupted_entry_is_recomputed(self, tmp_path):
+        jobs = ok_jobs(2)
+        cache = ResultCache(root=tmp_path / "cache")
+        SweepRunner(workers=1, cache=cache).run(jobs)
+        cache.path_for(jobs[0]).write_text("garbage")
+        rerun_cache = ResultCache(root=tmp_path / "cache")
+        report = SweepRunner(workers=1, cache=rerun_cache).run(jobs)
+        assert report.outcomes[0].status == "ran"
+        assert report.outcomes[1].status == "hit"
+        assert rerun_cache.stats.evictions == 1
+        # the recompute healed the cache: entry is valid again
+        assert ResultCache(root=tmp_path / "cache").get(jobs[0]) is not None
+
+    def test_failed_jobs_are_never_cached(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache")
+        job = Job(experiment=BOOM, retries=0)
+        SweepRunner(workers=1, cache=cache).run([job])
+        assert not cache.path_for(job).exists()
+
+
+class TestReport:
+    def test_summary_line_contents(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache")
+        jobs = ok_jobs(2)
+        SweepRunner(workers=1, cache=cache).run(jobs)
+        warm = SweepRunner(workers=1, cache=ResultCache(root=tmp_path / "cache"))
+        line = warm.run(jobs).summary_line()
+        assert "2 jobs" in line
+        assert "2 cached" in line
+        assert "hit-rate=100%" in line
+        assert "wall=" in line and "speedup-est=" in line
