@@ -61,10 +61,31 @@ class DWCSCostModel:
         ops.branches += self.per_stream_branches
         ops.mem_reads += self.per_stream_mem_reads
 
+    def charge_streams_examined(self, ops: OpCounter, n: int) -> None:
+        """Batched form of :meth:`charge_stream_examined` for *n* streams.
+
+        The per-stream charge is a constant delta, so a cohort of *n*
+        examinations is one multiply-accumulate instead of *n* calls —
+        totals are identical by construction.
+        """
+        if n <= 0:
+            return
+        ops.int_ops += self.per_stream_int_ops * n
+        ops.branches += self.per_stream_branches * n
+        ops.mem_reads += self.per_stream_mem_reads * n
+
     def charge_adjustment(self, ops: OpCounter) -> None:
         ops.int_ops += self.adjust_int_ops
         ops.mem_reads += self.adjust_mem_reads
         ops.mem_writes += self.adjust_mem_writes
+
+    def charge_adjustments(self, ops: OpCounter, n: int) -> None:
+        """Batched form of :meth:`charge_adjustment` for *n* window updates."""
+        if n <= 0:
+            return
+        ops.int_ops += self.adjust_int_ops * n
+        ops.mem_reads += self.adjust_mem_reads * n
+        ops.mem_writes += self.adjust_mem_writes * n
 
     def charge_dispatch(self, ops: OpCounter) -> None:
         ops.int_ops += self.dispatch_int_ops

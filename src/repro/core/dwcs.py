@@ -353,10 +353,16 @@ class DWCSScheduler:
             ]
         else:
             candidates = list(self._entries.items())
+        # The examination charge is a constant per-stream delta: apply the
+        # whole cohort's worth in one multiply-accumulate up front, and
+        # tally the (equally constant) window-adjustment charges to apply
+        # the same way at the end. Totals are identical to the per-call
+        # form — the op ledger only ever reports per-cycle sums.
+        self.costs.charge_streams_examined(self.ops, len(candidates))
+        n_adjusted = 0
         for stream_id, entry in candidates:
             state = self.streams[stream_id]
             queue = self.queues[stream_id]
-            self.costs.charge_stream_examined(self.ops)
             changed = False
             while True:
                 head = queue.head(self.ops)
@@ -370,7 +376,7 @@ class DWCSScheduler:
                 # packet must be transmitted late (and the miss is a
                 # violation). Evaluate before the adjustment consumes x'.
                 droppable = state.spec.drop_late and state.x_cur > 0
-                self.costs.charge_adjustment(self.ops)
+                n_adjusted += 1
                 self._adjust_missed(state)
                 if droppable:
                     queue.pop(self.ops)
@@ -391,6 +397,7 @@ class DWCSScheduler:
             if changed:
                 # head and/or window constraint moved: restore order
                 self._refresh_head(state, queue, entry, may_be_same=True)
+        self.costs.charge_adjustments(self.ops, n_adjusted)
         return dropped
 
     # -- selection ---------------------------------------------------------------------
@@ -404,9 +411,9 @@ class DWCSScheduler:
     def _select_eligible(self, now_us: float) -> Optional[Entry]:
         if self.miss_scan == "descriptor-loop":
             # the embedded build re-encodes every stream's priority per
-            # cycle while walking the descriptors
-            for _ in self._entries:
-                self.costs.charge_stream_examined(self.ops)
+            # cycle while walking the descriptors — a constant charge per
+            # stream, applied for the whole cohort at once
+            self.costs.charge_streams_examined(self.ops, len(self._entries))
         best = self.selection.select(self.ops)
         if best is None:
             return None

@@ -127,32 +127,41 @@ class MPEGEncoder:
         return {t: unit * w for t, w in self.TYPE_WEIGHTS.items()}
 
     def encode(self, name: str, n_frames: int) -> MPEGFile:
-        """Synthesize *n_frames* frames as stream/file *name*."""
+        """Synthesize *n_frames* frames as stream/file *name*.
+
+        The per-frame lognormal sizes are drawn **vectorized**: one
+        ``standard_normal(n)`` fill plus an elementwise
+        ``exp(mu + sigma*z)``, which is the exact arithmetic
+        ``Generator.lognormal(mu, sigma)`` performs per draw — same
+        generator-stream consumption, same float64 rounding, so a stream
+        encoded batched is bit-identical to the old one-draw-per-frame
+        loop (pinned by tests and the golden-digest oracle).
+        """
         if n_frames < 1:
             raise ValueError("need at least one frame")
         gen = self.rng.stream(f"mpeg:{name}")
         base = self._base_sizes()
         pattern = self.gop.pattern()
-        frames: list[MediaFrame] = []
+        types = [pattern[i % len(pattern)] for i in range(n_frames)]
+        if self.size_jitter > 0:
+            # lognormal with the requested mean: exp(mu + s^2/2) = mean
+            means = np.array([base[t] for t in types], dtype=np.float64)
+            mu = np.log(means) - self.size_jitter**2 / 2.0
+            z = gen.standard_normal(n_frames)
+            sizes = np.exp(mu + self.size_jitter * z).tolist()
+        else:
+            sizes = [base[t] for t in types]
         frame_period_us = 1_000_000.0 / self.fps
-        for i in range(n_frames):
-            ftype = pattern[i % len(pattern)]
-            mean = base[ftype]
-            if self.size_jitter > 0:
-                # lognormal with the requested mean: exp(mu + s^2/2) = mean
-                mu = np.log(mean) - self.size_jitter**2 / 2.0
-                size = float(gen.lognormal(mu, self.size_jitter))
-            else:
-                size = mean
-            frames.append(
-                MediaFrame(
-                    stream_id=name,
-                    seqno=i,
-                    ftype=ftype,
-                    size_bytes=max(64, int(round(size))),
-                    pts_us=i * frame_period_us,
-                )
+        frames = [
+            MediaFrame(
+                stream_id=name,
+                seqno=i,
+                ftype=types[i],
+                size_bytes=max(64, int(round(sizes[i]))),
+                pts_us=i * frame_period_us,
             )
+            for i in range(n_frames)
+        ]
         return MPEGFile(name=name, frames=frames, fps=self.fps)
 
 

@@ -119,7 +119,18 @@ class ResultCache:
 
     # -- write ---------------------------------------------------------------
     def put(self, job: Job, result_dict: dict, result_digest: str, meta: dict) -> Path:
-        """Store one computed result; atomic (write temp + rename)."""
+        """Store one computed result atomically.
+
+        The entry is written to a *writer-unique* temp file in the same
+        directory (same filesystem, so the final ``os.replace`` is an
+        atomic rename) and the temp file is removed on any failure. A
+        fixed temp name would race concurrent sweeps sharing a cache
+        root: two writers interleaving write/replace on one ``.tmp``
+        path can publish a torn entry. With unique names the worst case
+        is a harmless double-compute — the published file is always one
+        writer's complete bytes. Readers are protected twice over:
+        ``get`` digest-validates and evicts anything torn anyway.
+        """
         path = self.path_for(job)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {
@@ -130,8 +141,12 @@ class ResultCache:
             "result_digest": result_digest,
             **meta,
         }
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(entry) + "\n")
-        os.replace(tmp, path)
+        tmp = path.parent / f".{path.name}.{os.getpid()}.{id(self):x}.tmp"
+        try:
+            tmp.write_text(json.dumps(entry) + "\n")
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
         self.stats.puts += 1
         return path

@@ -10,6 +10,13 @@ Failure containment, in layers:
 
 * a job that *raises* (including a ``SIGALRM`` timeout) comes back as an
   error payload from the worker — the pool keeps running;
+* where the in-worker alarm cannot be armed (non-POSIX, non-main-thread
+  workers — see :func:`repro.parallel.worker.alarm_available`), the
+  runner enforces each job's budget **executor-side**: futures are
+  polled against per-job deadlines and an overrun kills the wedged
+  worker processes outright (the only way to reclaim a process stuck in
+  a tight loop), settling the overrunning job as a timeout while
+  innocent jobs of the same pool are re-queued without burning a retry;
 * a worker that *dies* (segfault, ``os._exit``) breaks the pool; the
   runner catches ``BrokenProcessPool``, rebuilds the pool, and retries
   every unresolved job (bounded by its retry budget) — one murdered
@@ -22,7 +29,8 @@ from __future__ import annotations
 
 import sys
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from multiprocessing import get_context
@@ -101,6 +109,9 @@ class SweepReport:
 class SweepRunner:
     """Execute a list of jobs on ``workers`` cores with caching and retry."""
 
+    #: how often the runner wakes to check per-job deadlines (seconds)
+    _POLL_S = 0.1
+
     def __init__(
         self,
         workers: Optional[int] = None,
@@ -108,6 +119,7 @@ class SweepRunner:
         timeout_s: Optional[float] = None,
         retries: int = 1,
         verbose: bool = False,
+        deadline_grace_s: float = 5.0,
     ) -> None:
         import os
 
@@ -116,11 +128,17 @@ class SweepRunner:
         self.timeout_s = timeout_s
         self.retries = retries
         self.verbose = verbose
+        #: slack added to each job's budget before the executor-side kill
+        #: fires — where the in-worker alarm works it gets this long to
+        #: report the timeout gracefully first
+        self.deadline_grace_s = deadline_grace_s
 
     # -- internals -----------------------------------------------------------
+    def _job_timeout(self, job: Job) -> Optional[float]:
+        return job.timeout_s if job.timeout_s is not None else self.timeout_s
+
     def _payload(self, job: Job) -> dict:
-        timeout = job.timeout_s if job.timeout_s is not None else self.timeout_s
-        return {"job": job.canonical(), "timeout_s": timeout}
+        return {"job": job.canonical(), "timeout_s": self._job_timeout(job)}
 
     def _note(self, text: str) -> None:
         if self.verbose:
@@ -183,25 +201,77 @@ class SweepRunner:
             n_workers = min(self.workers, len(batch))
             ctx = get_context("spawn")
             broken = False
+            killed_for_deadline = False
             futs = {}
             with ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx) as pool:
+                deadlines = {}
                 for i, attempts in batch:
                     fut = pool.submit(run_job, self._payload(jobs[i]))
                     futs[fut] = (i, attempts)
+                    budget = self._job_timeout(jobs[i])
+                    deadlines[fut] = (
+                        time.monotonic() + budget + self.deadline_grace_s
+                        if budget is not None
+                        else None
+                    )
+                not_done = set(futs)
                 try:
-                    for fut in as_completed(futs):
-                        i, attempts = futs[fut]
-                        payload = fut.result()
-                        self._settle(jobs[i], i, attempts, payload, outcomes, pending)
+                    while not_done:
+                        done, not_done = futures_wait(not_done, timeout=self._POLL_S)
+                        for fut in done:
+                            i, attempts = futs[fut]
+                            payload = fut.result()
+                            self._settle(jobs[i], i, attempts, payload, outcomes, pending)
+                        now = time.monotonic()
+                        expired = [
+                            f
+                            for f in not_done
+                            if deadlines[f] is not None and now >= deadlines[f]
+                        ]
+                        if expired:
+                            # The in-worker alarm had its whole budget plus
+                            # grace and never reported: this worker is wedged
+                            # somewhere SIGALRM cannot fire (non-POSIX,
+                            # non-main-thread, or disabled). Killing its
+                            # process is the only way to reclaim it; that
+                            # breaks the pool, so settle the overruns now and
+                            # rebuild for the rest.
+                            for fut in expired:
+                                i, attempts = futs[fut]
+                                self._settle(
+                                    jobs[i],
+                                    i,
+                                    attempts,
+                                    {
+                                        "ok": False,
+                                        "error": "JobTimeout: job exceeded its "
+                                        "timeout (executor-side deadline)",
+                                    },
+                                    outcomes,
+                                    pending,
+                                )
+                                self._note(f"[kill ] {jobs[i].label} (deadline)")
+                            broken = True
+                            killed_for_deadline = True
+                            for proc in list(getattr(pool, "_processes", {}).values()):
+                                proc.terminate()
+                            break
                 except BrokenProcessPool:
                     broken = True
             if broken:
-                # a worker died mid-batch; every unresolved job of this batch
-                # is retried (bounded) against a fresh pool
+                # Unresolved jobs of this batch go back out against a fresh
+                # pool. A deadline kill was the runner's own doing, so
+                # innocent bystanders are re-queued without burning a retry;
+                # a spontaneous worker death could have been any unresolved
+                # job's fault, so each one is charged an attempt (bounded by
+                # its budget).
                 for fut, (i, attempts) in futs.items():
                     if outcomes[i] is not None or any(p[0] == i for p in pending):
                         continue
-                    if attempts < self._budget(jobs[i]):
+                    if killed_for_deadline:
+                        pending.append((i, attempts))
+                        self._note(f"[requeue] {jobs[i].label} (pool killed on deadline)")
+                    elif attempts < self._budget(jobs[i]):
                         pending.append((i, attempts + 1))
                         self._note(f"[retry] {jobs[i].label} (worker died)")
                     else:

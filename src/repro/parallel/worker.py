@@ -10,20 +10,29 @@ Everything crossing the process boundary is plain data: the payload in
 is a job's canonical dict plus a timeout, the payload out is a serialized
 :class:`~repro.experiments.report.ExperimentResult` (or an error record —
 a raising job *reports*, it never kills the pool). Per-job timeouts are
-enforced inside the worker with ``SIGALRM``, so a wedged simulation
-cannot stall the sweep either.
+enforced inside the worker with ``SIGALRM`` where the alarm can actually
+be armed (POSIX, main thread — see :func:`alarm_available`); everywhere
+else the runner's executor-side deadline is the enforcement, so a wedged
+simulation cannot stall the sweep on any platform.
 """
 
 from __future__ import annotations
 
 import importlib
 import inspect
+import os
 import signal
+import threading
 import time
 import traceback
 from typing import Any
 
-__all__ = ["run_job", "JobTimeout"]
+__all__ = ["run_job", "JobTimeout", "alarm_available"]
+
+#: set (to any non-empty value) to force the no-SIGALRM fallback path —
+#: the runner then enforces the budget executor-side. Exists so the
+#: fallback is testable on platforms where the alarm *does* work.
+DISABLE_ALARM_ENV_VAR = "REPRO_DISABLE_SIGALRM"
 
 
 class JobTimeout(Exception):
@@ -32,6 +41,22 @@ class JobTimeout(Exception):
 
 def _on_alarm(signum, frame):  # pragma: no cover - fires only on overrun
     raise JobTimeout("job exceeded its timeout")
+
+
+def alarm_available() -> bool:
+    """Whether the in-worker ``SIGALRM`` watchdog can be armed here.
+
+    ``SIGALRM`` exists only on POSIX, and ``signal.signal`` may only be
+    called from the main thread of the main interpreter — a worker
+    invoked from a thread pool (or an embedded interpreter) must fall
+    back to the runner's executor-side budget instead of crashing with
+    ``ValueError: signal only works in main thread``.
+    """
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+        and not os.environ.get(DISABLE_ALARM_ENV_VAR)
+    )
 
 
 def _resolve_and_run(canonical: dict) -> Any:
@@ -76,7 +101,7 @@ def run_job(payload: dict) -> dict:
 
     import_s = time.perf_counter() - t0
 
-    use_alarm = timeout_s is not None and hasattr(signal, "SIGALRM")
+    use_alarm = timeout_s is not None and alarm_available()
     previous = None
     if use_alarm:
         previous = signal.signal(signal.SIGALRM, _on_alarm)

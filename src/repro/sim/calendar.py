@@ -1,0 +1,269 @@
+"""Calendar event queue for the simulation kernel.
+
+The kernel's reference event queue is a binary heap over
+``(time, priority, seq, event)`` tuples (see
+:mod:`repro.sim.environment`). This module provides the alternative the
+paper's scheduler section names (§3.1.1 lists "FCFS circular buffers,
+sorted lists, heaps or calendar queues" as interchangeable schedule
+structures): a Brown-style **calendar queue** — events filed into
+bucketed "days" by their timestamp, with the exact heap total order
+preserved *within* a bucket.
+
+Design points:
+
+* **Total-order fidelity.** Buckets are keyed ``int(time // day_width)``,
+  so equal timestamps always share a bucket; within a bucket entries are
+  kept in heap order on the same ``(time, priority, seq)`` key the
+  reference heap uses. Pop order is therefore *identical* to the binary
+  heap's, bit for bit — proven by the differential tests and by the
+  golden-digest oracle over every experiment.
+* **Cohort extraction.** All events carrying the same timestamp live in
+  one bucket, so :meth:`pop_cohort` drains a same-tick cohort in one
+  bucket-local operation — the enabler for the batched dispatch loop in
+  :meth:`Environment.run`.
+* **Horizon-driven sizing.** The queue samples the *event horizon* of
+  every push (how far ahead of the current tail the new event lands) and
+  resizes its day width from those observed statistics whenever the
+  population doubles or halves — wide days for sparse far-future
+  schedules, narrow days for dense near-term ones. A day width may also
+  be pinned explicitly (e.g. from a previous run's recorded stats).
+
+The queue deliberately has no notion of event *removal*: the kernel only
+ever enqueues triggered events and pops them in order (cancellation in
+this kernel is a callback-level concern), which keeps every operation
+O(log bucket) plus an amortized-O(1) occupied-day scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from heapq import heapify, heappop, heappush
+from typing import Any, Optional
+
+__all__ = ["CalendarEventQueue", "HorizonStats"]
+
+#: hard bounds on the adaptive day width (µs): never slice finer than a
+#: tenth of a microsecond, never coarser than 10 simulated seconds
+_MIN_DAY_WIDTH_US = 0.1
+_MAX_DAY_WIDTH_US = 10_000_000.0
+
+#: resize when the population grows/shrinks past these factors since the
+#: last resize (Brown's doubling rule, with hysteresis)
+_GROW_FACTOR = 2
+_SHRINK_FACTOR = 2
+
+#: target mean occupancy per occupied day after a resize
+_TARGET_PER_DAY = 3.0
+
+
+@dataclass
+class HorizonStats:
+    """Running tally of observed push horizons (µs ahead of the clock)."""
+
+    count: int = 0
+    total_us: float = 0.0
+    max_us: float = 0.0
+
+    @property
+    def mean_us(self) -> float:
+        return self.total_us / self.count if self.count else 0.0
+
+    def record(self, horizon_us: float) -> None:
+        self.count += 1
+        self.total_us += horizon_us
+        if horizon_us > self.max_us:
+            self.max_us = horizon_us
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean_us": self.mean_us,
+            "max_us": self.max_us,
+        }
+
+
+class CalendarEventQueue:
+    """Bucketed-day event queue with exact heap-order semantics.
+
+    Parameters
+    ----------
+    day_width_us:
+        Initial bucket width. ``None`` starts from a neutral default and
+        lets the horizon-driven resizing take over; an explicit value
+        (e.g. derived from a previous run's :attr:`horizon` stats) pins
+        the starting geometry, though adaptive resizing still applies
+        unless ``adaptive=False``.
+    adaptive:
+        When False the day width never changes after construction.
+    """
+
+    def __init__(
+        self, day_width_us: Optional[float] = None, adaptive: bool = True
+    ) -> None:
+        if day_width_us is not None and day_width_us <= 0:
+            raise ValueError("day width must be positive")
+        self.day_width_us = float(day_width_us) if day_width_us else 1_000.0
+        self.adaptive = adaptive
+        #: occupied days: day index -> heap of (time, priority, seq, event)
+        self._days: dict[int, list] = {}
+        #: lazy min-heap over occupied day indices (stale entries skipped)
+        self._day_heap: list[int] = []
+        self._count = 0
+        #: time of the most recently popped event — the queue's own clock,
+        #: used as the horizon reference for pushes
+        self._clock = 0.0
+        #: lifetime push-horizon statistics (drives the resize policy)
+        self.horizon = HorizonStats()
+        self.resizes = 0
+        self._resize_anchor = 8  # population at the last resize (floor 8)
+
+    # -- sizing ---------------------------------------------------------------
+    @classmethod
+    def day_width_from_stats(
+        cls, stats: HorizonStats, population: int
+    ) -> float:
+        """Day width putting ~``_TARGET_PER_DAY`` events per occupied day.
+
+        With *population* pending events spread over a mean horizon of
+        ``stats.mean_us``, the mean inter-event gap is ``mean / n``; a day
+        then covers ``_TARGET_PER_DAY`` gaps (Brown's guidance of a few
+        events per bucket), clamped to the global bounds.
+        """
+        n = max(1, population)
+        gap = stats.mean_us / n if stats.count else 0.0
+        width = gap * _TARGET_PER_DAY
+        return min(_MAX_DAY_WIDTH_US, max(_MIN_DAY_WIDTH_US, width))
+
+    def _maybe_resize(self) -> None:
+        anchor = self._resize_anchor
+        n = self._count
+        if n > anchor * _GROW_FACTOR or n < anchor // _SHRINK_FACTOR:
+            self._resize(self.day_width_from_stats(self.horizon, n))
+
+    def _resize(self, new_width: float) -> None:
+        self._resize_anchor = max(8, self._count)
+        if new_width == self.day_width_us:
+            return
+        self.day_width_us = new_width
+        items = [item for bucket in self._days.values() for item in bucket]
+        self._days.clear()
+        self._day_heap.clear()
+        days = self._days
+        for item in items:
+            day = int(item[0] // new_width)
+            bucket = days.get(day)
+            if bucket is None:
+                days[day] = [item]
+                heappush(self._day_heap, day)
+            else:
+                bucket.append(item)
+        for bucket in days.values():
+            heapify(bucket)
+        self.resizes += 1
+
+    # -- queue protocol -------------------------------------------------------
+    def push(self, item: tuple) -> None:
+        """File ``(time, priority, seq, event)``; samples the horizon."""
+        t = item[0]
+        self.horizon.record(t - self._clock)
+        day = int(t // self.day_width_us)
+        bucket = self._days.get(day)
+        if bucket is None:
+            self._days[day] = [item]
+            heappush(self._day_heap, day)
+        else:
+            heappush(bucket, item)
+        self._count += 1
+        if self.adaptive:
+            self._maybe_resize()
+
+    def push_back(self, item: tuple) -> None:
+        """Re-file an item popped but not dispatched (no horizon sample)."""
+        day = int(item[0] // self.day_width_us)
+        bucket = self._days.get(day)
+        if bucket is None:
+            self._days[day] = [item]
+            heappush(self._day_heap, day)
+        else:
+            heappush(bucket, item)
+        self._count += 1
+
+    def _min_day(self) -> int:
+        """Index of the earliest occupied day (assumes non-empty queue)."""
+        day_heap = self._day_heap
+        days = self._days
+        while True:
+            day = day_heap[0]
+            if day in days:
+                return day
+            heappop(day_heap)
+
+    def peek(self) -> float:
+        """Timestamp of the next event, or ``inf`` when empty."""
+        if not self._count:
+            return float("inf")
+        return self._days[self._min_day()][0][0]
+
+    def pop(self) -> tuple:
+        """Remove and return the least ``(time, priority, seq, event)``."""
+        if not self._count:
+            raise IndexError("pop from an empty CalendarEventQueue")
+        day = self._min_day()
+        bucket = self._days[day]
+        item = heappop(bucket)
+        if not bucket:
+            del self._days[day]
+            heappop(self._day_heap)
+        self._count -= 1
+        self._clock = item[0]
+        return item
+
+    def pop_cohort(self) -> list:
+        """Drain every event sharing the earliest timestamp, in heap order.
+
+        Equal timestamps always share a bucket, so the cohort comes out of
+        one bucket-local drain; the returned list is ordered by
+        ``(priority, seq)`` — exactly the order the reference heap would
+        pop them in.
+        """
+        if not self._count:
+            raise IndexError("pop_cohort from an empty CalendarEventQueue")
+        day = self._min_day()
+        bucket = self._days[day]
+        first = heappop(bucket)
+        t = first[0]
+        cohort = [first]
+        while bucket and bucket[0][0] == t:
+            cohort.append(heappop(bucket))
+        if not bucket:
+            del self._days[day]
+            heappop(self._day_heap)
+        self._count -= len(cohort)
+        self._clock = t
+        return cohort
+
+    # -- introspection --------------------------------------------------------
+    def stats(self) -> dict:
+        """Geometry + horizon statistics (feeds docs/diagnostics)."""
+        buckets = len(self._days)
+        return {
+            "structure": "calendar",
+            "pending": self._count,
+            "day_width_us": self.day_width_us,
+            "occupied_days": buckets,
+            "mean_occupancy": (self._count / buckets) if buckets else 0.0,
+            "resizes": self.resizes,
+            "horizon": self.horizon.as_dict(),
+        }
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<CalendarEventQueue pending={self._count} "
+            f"day_width={self.day_width_us:.1f}us days={len(self._days)}>"
+        )

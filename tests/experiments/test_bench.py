@@ -1,0 +1,67 @@
+"""Bench harness logic that runs without timing anything.
+
+The timed paths (fresh-interpreter children, full digest verification)
+are exercised by the CI bench-smoke job; here we pin the pure decision
+logic — above all that an incomparable baseline can never yield a
+speedup figure.
+"""
+
+import pytest
+
+from repro.experiments.bench import QUEUES, WORKLOADS, baseline_comparability
+
+
+class TestBaselineComparability:
+    def test_matching_environment_is_comparable(self):
+        base = {"python": "3.11.7", "machine": "x86_64"}
+        ok, reason = baseline_comparability(base, python="3.11.7", machine="x86_64")
+        assert ok
+        assert reason == ""
+
+    def test_python_mismatch_is_incomparable(self):
+        base = {"python": "3.11.7", "machine": "x86_64"}
+        ok, reason = baseline_comparability(base, python="3.12.1", machine="x86_64")
+        assert not ok
+        assert "python" in reason
+        assert "3.11.7" in reason and "3.12.1" in reason
+
+    def test_machine_mismatch_is_incomparable(self):
+        base = {"python": "3.11.7", "machine": "x86_64"}
+        ok, reason = baseline_comparability(base, python="3.11.7", machine="aarch64")
+        assert not ok
+        assert "machine" in reason
+
+    def test_both_mismatched_names_both_fields(self):
+        base = {"python": "3.11.7", "machine": "x86_64"}
+        ok, reason = baseline_comparability(base, python="3.12.1", machine="aarch64")
+        assert not ok
+        assert "python" in reason and "machine" in reason
+
+    def test_missing_baseline_fields_are_incomparable(self):
+        """A baseline captured before provenance fields existed must not
+        silently compare equal."""
+        ok, reason = baseline_comparability({}, python="3.11.7", machine="x86_64")
+        assert not ok
+
+    def test_no_baseline(self):
+        ok, reason = baseline_comparability(None)
+        assert not ok
+        assert reason == "no baseline"
+
+    def test_checked_in_baseline_has_provenance_fields(self):
+        import json
+
+        from repro.experiments.bench import BASELINE_PATH
+
+        baseline = json.loads(BASELINE_PATH.read_text())
+        assert "python" in baseline and "machine" in baseline
+
+
+class TestBenchConstants:
+    def test_queue_variants(self):
+        assert QUEUES == ("heap", "calendar")
+
+    def test_headline_is_a_workload(self):
+        from repro.experiments.bench import HEADLINE
+
+        assert HEADLINE in WORKLOADS

@@ -1,6 +1,8 @@
 """The content-addressed result cache: hits, misses, self-healing."""
 
 import json
+import os
+from pathlib import Path
 
 import pytest
 
@@ -104,3 +106,64 @@ class TestSelfHealing:
         cache.path_for(a).rename(cache.path_for(b))
         assert cache.get(b) is None
         assert cache.stats.evictions == 1
+
+    def test_partially_written_entry_is_evicted(self, cache):
+        """A torn write — only a prefix of the entry reached disk — reads
+        as a miss and is evicted, never served."""
+        job = Job(experiment="x", seed=1)
+        put(cache, job)
+        path = cache.path_for(job)
+        full = path.read_text()
+        path.write_text(full[: len(full) // 2])
+        assert cache.get(job) is None
+        assert not path.exists(), "torn entry must be unlinked"
+        assert cache.stats.evictions == 1
+
+
+class TestAtomicPut:
+    def test_put_leaves_no_temp_droppings(self, cache):
+        job = Job(experiment="x", seed=1)
+        put(cache, job)
+        leftovers = [
+            p for p in cache.path_for(job).parent.iterdir() if p.name.endswith(".tmp")
+        ]
+        assert leftovers == []
+
+    def test_failed_put_removes_its_temp_file_and_raises(self, cache, monkeypatch):
+        job = Job(experiment="x", seed=1)
+
+        def refuse(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.parallel.cache.os.replace", refuse)
+        with pytest.raises(OSError):
+            put(cache, job)
+        parent = cache.path_for(job).parent
+        assert not any(p.name.endswith(".tmp") for p in parent.iterdir())
+        assert not cache.path_for(job).exists()
+
+    def test_concurrent_writers_use_distinct_same_dir_temp_names(
+        self, tmp_path, monkeypatch
+    ):
+        """Two caches publishing the same entry must not share a temp path
+        (a fixed ``.tmp`` name lets interleaved writers publish a torn
+        entry); each temp file sits next to the entry so the final rename
+        stays within one filesystem (atomic)."""
+        seen = []
+        real_replace = os.replace
+
+        def spy(src, dst):
+            seen.append(Path(src))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr("repro.parallel.cache.os.replace", spy)
+        job = Job(experiment="x", seed=1)
+        a = ResultCache(root=tmp_path / "cache")
+        b = ResultCache(root=tmp_path / "cache")
+        put(a, job)
+        put(b, job)
+        assert len(seen) == 2
+        assert seen[0] != seen[1]
+        assert all(p.parent == a.path_for(job).parent for p in seen)
+        # and the published entry is valid
+        assert a.get(job) is not None

@@ -95,6 +95,56 @@ class TestFailureContainment:
         assert marker.exists()
 
 
+class TestExecutorSideDeadline:
+    """The fallback budget for platforms/threads where SIGALRM can't fire.
+
+    ``REPRO_DISABLE_SIGALRM`` forces the spawn-fresh workers onto the
+    no-alarm path so the fallback is exercised even on POSIX.
+    """
+
+    def test_wedged_job_is_killed_on_the_fallback_path(self, monkeypatch):
+        import time
+
+        monkeypatch.setenv("REPRO_DISABLE_SIGALRM", "1")
+        jobs = [Job(experiment=HANG, timeout_s=0.5, retries=0)]
+        t0 = time.monotonic()
+        report = SweepRunner(workers=1, cache=None, deadline_grace_s=0.5).run(jobs)
+        assert time.monotonic() - t0 < 60  # far below the 300 s hang
+        assert report.outcomes[0].status == "failed"
+        assert "executor-side deadline" in report.outcomes[0].error
+
+    def test_innocent_jobs_survive_a_deadline_kill(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISABLE_SIGALRM", "1")
+        jobs = [
+            Job(experiment=HANG, timeout_s=0.5, retries=0),
+            Job(experiment=OK, seed=0),
+        ]
+        report = SweepRunner(workers=2, cache=None, deadline_grace_s=0.5).run(jobs)
+        by_exp = {o.job.experiment: o for o in report.outcomes}
+        assert by_exp[HANG].status == "failed"
+        assert "JobTimeout" in by_exp[HANG].error
+        assert by_exp[OK].ok
+
+    def test_alarm_available_guards(self, monkeypatch):
+        import signal
+        import threading
+
+        from repro.parallel import worker
+
+        monkeypatch.setenv(worker.DISABLE_ALARM_ENV_VAR, "1")
+        assert not worker.alarm_available()
+        monkeypatch.delenv(worker.DISABLE_ALARM_ENV_VAR)
+        if hasattr(signal, "SIGALRM"):
+            assert worker.alarm_available()
+            seen_in_thread = []
+            t = threading.Thread(
+                target=lambda: seen_in_thread.append(worker.alarm_available())
+            )
+            t.start()
+            t.join()
+            assert seen_in_thread == [False], "non-main thread must not arm SIGALRM"
+
+
 class TestCacheIntegration:
     def test_second_run_is_all_hits_with_identical_digests(self, tmp_path):
         jobs = ok_jobs(3)

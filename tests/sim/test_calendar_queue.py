@@ -1,0 +1,175 @@
+"""CalendarEventQueue: exact heap-order semantics in bucketed days.
+
+The queue's one non-negotiable contract is *total-order fidelity*: pops
+come out in exactly the order ``heapq`` would produce over the same
+``(time, priority, seq, event)`` tuples. Everything else — day geometry,
+horizon-driven resizing, cohort extraction — is an implementation detail
+that must never bend that order.
+"""
+
+import heapq
+import random
+
+import pytest
+
+from repro.sim import CalendarEventQueue, HorizonStats
+from repro.sim.calendar import _MAX_DAY_WIDTH_US, _MIN_DAY_WIDTH_US
+
+
+def make_items(n, rng, time_grid=None):
+    """n unique (time, priority, seq, payload) tuples with tie-heavy times."""
+    grid = time_grid or [0.0, 1.0, 2.5, 7.0, 7.0, 100.0, 5000.0, 12345.6]
+    return [
+        (rng.choice(grid), rng.choice([0, 1]), seq, f"ev{seq}")
+        for seq in range(n)
+    ]
+
+
+class TestHeapOrderFidelity:
+    def test_pop_order_matches_heapq(self):
+        rng = random.Random(7)
+        items = make_items(200, rng)
+        ref = list(items)
+        heapq.heapify(ref)
+        q = CalendarEventQueue()
+        for item in items:
+            q.push(item)
+        got = [q.pop() for _ in range(len(items))]
+        want = [heapq.heappop(ref) for _ in range(len(items))]
+        assert got == want
+
+    def test_interleaved_push_pop_matches_heapq(self):
+        rng = random.Random(21)
+        items = make_items(300, rng)
+        q = CalendarEventQueue()
+        ref = []
+        got, want = [], []
+        for item in items:
+            q.push(item)
+            heapq.heappush(ref, item)
+            if rng.random() < 0.4 and ref:
+                got.append(q.pop())
+                want.append(heapq.heappop(ref))
+        while ref:
+            got.append(q.pop())
+            want.append(heapq.heappop(ref))
+        assert got == want
+        assert len(q) == 0 and not q
+
+    def test_resizes_happen_and_preserve_order(self):
+        rng = random.Random(3)
+        q = CalendarEventQueue(day_width_us=1.0)
+        items = [
+            (rng.uniform(0.0, 1e6), 1, seq, seq) for seq in range(500)
+        ]
+        for item in items:
+            q.push(item)
+        assert q.resizes > 0, "population grew 500x past the anchor"
+        got = [q.pop() for _ in range(len(items))]
+        assert got == sorted(items)
+
+
+class TestCohorts:
+    def test_pop_cohort_drains_equal_timestamps_in_seq_order(self):
+        q = CalendarEventQueue()
+        q.push((5.0, 1, 2, "b"))
+        q.push((5.0, 1, 1, "a"))
+        q.push((5.0, 0, 3, "urgent"))
+        q.push((6.0, 1, 4, "later"))
+        cohort = q.pop_cohort()
+        assert [item[3] for item in cohort] == ["urgent", "a", "b"]
+        assert len(q) == 1
+        assert q.peek() == 6.0
+
+    def test_push_back_refiles_for_the_next_cohort(self):
+        q = CalendarEventQueue()
+        q.push((5.0, 1, 1, "a"))
+        q.push((5.0, 1, 2, "b"))
+        cohort = q.pop_cohort()
+        q.push_back(cohort[1])
+        q.push((5.0, 0, 3, "urgent"))
+        assert [item[3] for item in q.pop_cohort()] == ["urgent", "b"]
+
+    def test_cohort_from_empty_raises(self):
+        with pytest.raises(IndexError):
+            CalendarEventQueue().pop_cohort()
+
+
+class TestEdges:
+    def test_peek_on_empty_is_inf(self):
+        assert CalendarEventQueue().peek() == float("inf")
+
+    def test_pop_on_empty_raises(self):
+        with pytest.raises(IndexError):
+            CalendarEventQueue().pop()
+
+    def test_nonpositive_day_width_rejected(self):
+        with pytest.raises(ValueError):
+            CalendarEventQueue(day_width_us=0.0)
+        with pytest.raises(ValueError):
+            CalendarEventQueue(day_width_us=-1.0)
+
+    def test_adaptive_false_pins_the_geometry(self):
+        q = CalendarEventQueue(day_width_us=10.0, adaptive=False)
+        for seq in range(200):
+            q.push((float(seq), 1, seq, seq))
+        assert q.resizes == 0
+        assert q.day_width_us == 10.0
+
+
+class TestSizing:
+    def test_day_width_from_stats_targets_a_few_events_per_day(self):
+        stats = HorizonStats()
+        for _ in range(100):
+            stats.record(1_000.0)  # mean horizon 1000 us
+        width = CalendarEventQueue.day_width_from_stats(stats, population=100)
+        assert _MIN_DAY_WIDTH_US <= width <= _MAX_DAY_WIDTH_US
+        # mean gap = 1000/100 = 10 us; ~3 events per day => ~30 us days
+        assert width == pytest.approx(30.0)
+
+    def test_day_width_clamped_below(self):
+        stats = HorizonStats()
+        stats.record(0.001)
+        assert (
+            CalendarEventQueue.day_width_from_stats(stats, population=1_000_000)
+            == _MIN_DAY_WIDTH_US
+        )
+
+    def test_day_width_clamped_above(self):
+        stats = HorizonStats()
+        stats.record(1e12)
+        assert (
+            CalendarEventQueue.day_width_from_stats(stats, population=1)
+            == _MAX_DAY_WIDTH_US
+        )
+
+    def test_empty_stats_fall_back_to_minimum(self):
+        assert (
+            CalendarEventQueue.day_width_from_stats(HorizonStats(), population=5)
+            == _MIN_DAY_WIDTH_US
+        )
+
+
+class TestIntrospection:
+    def test_stats_shape(self):
+        q = CalendarEventQueue()
+        q.push((1.0, 1, 1, "a"))
+        q.push((1.0, 1, 2, "b"))
+        s = q.stats()
+        assert s["structure"] == "calendar"
+        assert s["pending"] == 2
+        assert s["occupied_days"] == 1
+        assert s["mean_occupancy"] == 2.0
+        assert s["horizon"]["count"] == 2
+
+    def test_horizon_stats_tally(self):
+        h = HorizonStats()
+        h.record(10.0)
+        h.record(30.0)
+        assert h.count == 2
+        assert h.mean_us == 20.0
+        assert h.max_us == 30.0
+        assert h.as_dict() == {"count": 2, "mean_us": 20.0, "max_us": 30.0}
+
+    def test_repr_mentions_geometry(self):
+        assert "day_width" in repr(CalendarEventQueue())
