@@ -356,48 +356,52 @@ class DWCSScheduler:
         # The examination charge is a constant per-stream delta: apply the
         # whole cohort's worth in one multiply-accumulate up front, and
         # tally the (equally constant) window-adjustment charges to apply
-        # the same way at the end. Totals are identical to the per-call
-        # form — the op ledger only ever reports per-cycle sums.
+        # the same way at the end — in a finally, so a scan that dies
+        # mid-loop still charges what it adjusted, exactly as the old
+        # per-call form did. Totals are identical to that form — the op
+        # ledger only ever reports per-cycle sums.
         self.costs.charge_streams_examined(self.ops, len(candidates))
         n_adjusted = 0
-        for stream_id, entry in candidates:
-            state = self.streams[stream_id]
-            queue = self.queues[stream_id]
-            changed = False
-            while True:
-                head = queue.head(self.ops)
-                if head is None:
-                    break
-                if head.miss_handled or head.deadline_us >= now_us:
-                    break
-                changed = True
-                # A late packet may be dropped only while the *current*
-                # window still tolerates loss (x' > 0); with x' == 0 the
-                # packet must be transmitted late (and the miss is a
-                # violation). Evaluate before the adjustment consumes x'.
-                droppable = state.spec.drop_late and state.x_cur > 0
-                n_adjusted += 1
-                self._adjust_missed(state)
-                if droppable:
-                    queue.pop(self.ops)
-                    state.dropped += 1
-                    self.stats.dropped += 1
-                    dropped.append(head)
-                    if self.tracer is not None and self.tracer.wants("dwcs"):
-                        self.tracer.emit(
-                            "dwcs", "drop",
-                            stream=head.stream_id, seq=head.frame.seqno,
-                            deadline=head.deadline_us,
-                        )
-                    # loop: the next head may be late too
-                else:
-                    # transmitted late: keep at head, count the miss once
-                    head.miss_handled = True
-                    break
-            if changed:
-                # head and/or window constraint moved: restore order
-                self._refresh_head(state, queue, entry, may_be_same=True)
-        self.costs.charge_adjustments(self.ops, n_adjusted)
+        try:
+            for stream_id, entry in candidates:
+                state = self.streams[stream_id]
+                queue = self.queues[stream_id]
+                changed = False
+                while True:
+                    head = queue.head(self.ops)
+                    if head is None:
+                        break
+                    if head.miss_handled or head.deadline_us >= now_us:
+                        break
+                    changed = True
+                    # A late packet may be dropped only while the *current*
+                    # window still tolerates loss (x' > 0); with x' == 0 the
+                    # packet must be transmitted late (and the miss is a
+                    # violation). Evaluate before the adjustment consumes x'.
+                    droppable = state.spec.drop_late and state.x_cur > 0
+                    n_adjusted += 1
+                    self._adjust_missed(state)
+                    if droppable:
+                        queue.pop(self.ops)
+                        state.dropped += 1
+                        self.stats.dropped += 1
+                        dropped.append(head)
+                        if self.tracer is not None and self.tracer.wants("dwcs"):
+                            self.tracer.emit(
+                                "dwcs", "drop",
+                                stream=head.stream_id, seq=head.frame.seqno,
+                                deadline=head.deadline_us,
+                            )
+                        # loop: the next head may be late too
+                    else:
+                        # transmitted late: keep at head, count the miss once
+                        head.miss_handled = True
+                        break
+                if changed:
+                    # head and/or window constraint moved: restore order
+                    self._refresh_head(state, queue, entry, may_be_same=True)
+        finally:
+            self.costs.charge_adjustments(self.ops, n_adjusted)
         return dropped
 
     # -- selection ---------------------------------------------------------------------

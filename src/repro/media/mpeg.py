@@ -130,12 +130,14 @@ class MPEGEncoder:
         """Synthesize *n_frames* frames as stream/file *name*.
 
         The per-frame lognormal sizes are drawn **vectorized**: one
-        ``standard_normal(n)`` fill plus an elementwise
-        ``exp(mu + sigma*z)``, which is the exact arithmetic
-        ``Generator.lognormal(mu, sigma)`` performs per draw — same
-        generator-stream consumption, same float64 rounding, so a stream
-        encoded batched is bit-identical to the old one-draw-per-frame
-        loop (pinned by tests and the golden-digest oracle).
+        ``Generator.lognormal(mean=mu_array, sigma)`` call, which loops
+        the same scalar C routine (libm ``exp`` over one normal draw per
+        element) the old one-draw-per-frame Python loop invoked — same
+        generator-stream consumption, same float64 arithmetic, so a
+        batched stream is bit-identical to the per-frame loop on every
+        platform (a ``np.exp`` ufunc would not be: its SIMD kernels are
+        not guaranteed to match scalar libm). Pinned by tests and the
+        golden-digest oracle.
         """
         if n_frames < 1:
             raise ValueError("need at least one frame")
@@ -144,11 +146,14 @@ class MPEGEncoder:
         pattern = self.gop.pattern()
         types = [pattern[i % len(pattern)] for i in range(n_frames)]
         if self.size_jitter > 0:
-            # lognormal with the requested mean: exp(mu + s^2/2) = mean
-            means = np.array([base[t] for t in types], dtype=np.float64)
-            mu = np.log(means) - self.size_jitter**2 / 2.0
-            z = gen.standard_normal(n_frames)
-            sizes = np.exp(mu + self.size_jitter * z).tolist()
+            # lognormal with the requested mean: exp(mu + s^2/2) = mean.
+            # mu is computed once per frame *type* with the same scalar
+            # np.log call the per-frame loop made, then fanned out.
+            mu_by_type = {
+                t: np.log(m) - self.size_jitter**2 / 2.0 for t, m in base.items()
+            }
+            mu = np.array([mu_by_type[t] for t in types], dtype=np.float64)
+            sizes = gen.lognormal(mean=mu, sigma=self.size_jitter).tolist()
         else:
             sizes = [base[t] for t in types]
         frame_period_us = 1_000_000.0 / self.fps

@@ -12,11 +12,13 @@ Failure containment, in layers:
   error payload from the worker — the pool keeps running;
 * where the in-worker alarm cannot be armed (non-POSIX, non-main-thread
   workers — see :func:`repro.parallel.worker.alarm_available`), the
-  runner enforces each job's budget **executor-side**: futures are
-  polled against per-job deadlines and an overrun kills the wedged
-  worker processes outright (the only way to reclaim a process stuck in
-  a tight loop), settling the overrunning job as a timeout while
-  innocent jobs of the same pool are re-queued without burning a retry;
+  runner enforces each job's budget **executor-side**: a job's deadline
+  clock starts when a worker picks it up (a future still queued behind
+  batch-mates cannot be wedged, so queue wait never counts against its
+  budget), and an overrun kills the wedged worker processes outright
+  (the only way to reclaim a process stuck in a tight loop), settling
+  the overrunning job as a timeout while innocent jobs of the same pool
+  are re-queued without burning a retry;
 * a worker that *dies* (segfault, ``os._exit``) breaks the pool; the
   runner catches ``BrokenProcessPool``, rebuilds the pool, and retries
   every unresolved job (bounded by its retry budget) — one murdered
@@ -203,61 +205,75 @@ class SweepRunner:
             broken = False
             killed_for_deadline = False
             futs = {}
-            with ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx) as pool:
+            # Submission is throttled to one outstanding job per worker: the
+            # executor marks a future RUNNING the moment it is pumped into
+            # the IPC call queue (max_workers+1 deep), so an eagerly
+            # submitted backlog would look "running" while actually queued
+            # and accrue deadline it never earned. With the throttle, a
+            # submitted job has a free worker and starts ~immediately.
+            to_submit = list(batch)  # (job index, attempts), input order
+            pool = ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx)
+            abandoned = False
+            try:
+                budgets = {}
                 deadlines = {}
-                for i, attempts in batch:
-                    fut = pool.submit(run_job, self._payload(jobs[i]))
-                    futs[fut] = (i, attempts)
-                    budget = self._job_timeout(jobs[i])
-                    deadlines[fut] = (
-                        time.monotonic() + budget + self.deadline_grace_s
-                        if budget is not None
-                        else None
-                    )
-                not_done = set(futs)
-                try:
-                    while not_done:
-                        done, not_done = futures_wait(not_done, timeout=self._POLL_S)
-                        for fut in done:
+                not_done: set = set()
+                while to_submit or not_done:
+                    while to_submit and len(not_done) < n_workers:
+                        i, attempts = to_submit.pop(0)
+                        fut = pool.submit(run_job, self._payload(jobs[i]))
+                        futs[fut] = (i, attempts)
+                        budgets[fut] = self._job_timeout(jobs[i])
+                        not_done.add(fut)
+                    done, not_done = futures_wait(not_done, timeout=self._POLL_S)
+                    for fut in done:
+                        i, attempts = futs[fut]
+                        payload = fut.result()
+                        self._settle(jobs[i], i, attempts, payload, outcomes, pending)
+                    expired = self._check_deadlines(not_done, budgets, deadlines)
+                    if expired:
+                        # The in-worker alarm had its whole budget plus
+                        # grace and never reported: this worker is wedged
+                        # somewhere SIGALRM cannot fire (non-POSIX,
+                        # non-main-thread, or disabled). Killing its
+                        # process is the only way to reclaim it; that
+                        # breaks the pool, so settle the overruns now and
+                        # rebuild for the rest.
+                        for fut in expired:
                             i, attempts = futs[fut]
-                            payload = fut.result()
-                            self._settle(jobs[i], i, attempts, payload, outcomes, pending)
-                        now = time.monotonic()
-                        expired = [
-                            f
-                            for f in not_done
-                            if deadlines[f] is not None and now >= deadlines[f]
-                        ]
-                        if expired:
-                            # The in-worker alarm had its whole budget plus
-                            # grace and never reported: this worker is wedged
-                            # somewhere SIGALRM cannot fire (non-POSIX,
-                            # non-main-thread, or disabled). Killing its
-                            # process is the only way to reclaim it; that
-                            # breaks the pool, so settle the overruns now and
-                            # rebuild for the rest.
-                            for fut in expired:
-                                i, attempts = futs[fut]
-                                self._settle(
-                                    jobs[i],
-                                    i,
-                                    attempts,
-                                    {
-                                        "ok": False,
-                                        "error": "JobTimeout: job exceeded its "
-                                        "timeout (executor-side deadline)",
-                                    },
-                                    outcomes,
-                                    pending,
-                                )
-                                self._note(f"[kill ] {jobs[i].label} (deadline)")
-                            broken = True
-                            killed_for_deadline = True
-                            for proc in list(getattr(pool, "_processes", {}).values()):
+                            self._settle(
+                                jobs[i],
+                                i,
+                                attempts,
+                                {
+                                    "ok": False,
+                                    "error": "JobTimeout: job exceeded its "
+                                    "timeout (executor-side deadline)",
+                                },
+                                outcomes,
+                                pending,
+                            )
+                            self._note(f"[kill ] {jobs[i].label} (deadline)")
+                        broken = True
+                        killed_for_deadline = True
+                        procs = getattr(pool, "_processes", None)
+                        if procs:
+                            for proc in list(procs.values()):
                                 proc.terminate()
-                            break
-                except BrokenProcessPool:
-                    broken = True
+                        else:
+                            # No process handles (the private attribute is
+                            # gone in this CPython): the wedged worker cannot
+                            # be reclaimed, so cut the pool loose instead of
+                            # blocking a waiting shutdown on it — cancel the
+                            # queued work and abandon without joining.
+                            abandoned = True
+                            pool.shutdown(wait=False, cancel_futures=True)
+                        break
+            except BrokenProcessPool:
+                broken = True
+            finally:
+                if not abandoned:
+                    pool.shutdown(wait=True)
             if broken:
                 # Unresolved jobs of this batch go back out against a fresh
                 # pool. A deadline kill was the runner's own doing, so
@@ -265,6 +281,11 @@ class SweepRunner:
                 # a spontaneous worker death could have been any unresolved
                 # job's fault, so each one is charged an attempt (bounded by
                 # its budget).
+                for i, attempts in to_submit:
+                    # never handed to the pool at all: requeue without
+                    # burning a retry, whatever broke the pool
+                    pending.append((i, attempts))
+                    self._note(f"[requeue] {jobs[i].label} (never submitted)")
                 for fut, (i, attempts) in futs.items():
                     if outcomes[i] is not None or any(p[0] == i for p in pending):
                         continue
@@ -294,6 +315,23 @@ class SweepRunner:
 
     def _budget(self, job: Job) -> int:
         return job.retries if job.retries is not None else self.retries
+
+    def _check_deadlines(self, not_done, budgets: dict, deadlines: dict) -> list:
+        """Arm deadlines for newly running futures; return the expired ones.
+
+        The clock starts when a job *starts executing*, not when the
+        batch was formed: a job still waiting for a worker accrues
+        arbitrary queue wait and cannot be wedged. Only futures that
+        report ``running()`` are armed — which, together with the
+        one-outstanding-job-per-worker submission throttle in ``run()``,
+        coincides with actual pickup. ``deadlines`` is the cross-poll
+        memo of armed absolute deadlines, keyed by future.
+        """
+        now = time.monotonic()
+        for fut in not_done:
+            if fut not in deadlines and budgets[fut] is not None and fut.running():
+                deadlines[fut] = now + budgets[fut] + self.deadline_grace_s
+        return [f for f in not_done if f in deadlines and now >= deadlines[f]]
 
     def _settle(
         self,

@@ -168,9 +168,11 @@ class Environment:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         self._seq += 1
-        if priority < NORMAL:
-            # e.g. a process interrupt: may have to preempt a same-tick
-            # cohort already popped by the calendar run loop
+        if priority < NORMAL and self.now + delay == self.now:
+            # An urgent event landing at the *current* tick (e.g. a process
+            # interrupt, delay 0) may have to preempt a same-tick cohort
+            # already popped by the calendar run loop. Future-time urgent
+            # events sort normally and need no re-merge.
             self._urgent_dirty = True
         self._push((self.now + delay, priority, self._seq, event))
 
@@ -289,13 +291,16 @@ class Environment:
         run-until-event callback) the undispatched remainder is re-filed,
         matching the heap loop's leave-the-rest-queued semantics.
         """
-        self._urgent_dirty = False
         while queue:
             when = queue.peek()
             if when > stop_at:
                 return
             cohort = queue.pop_cohort()
             self.now = when
+            # Cohort boundary: the queue is fully merged here, so any flag
+            # left over (raised outside dispatch, or while dispatching a
+            # cohort's final member) is stale.
+            self._urgent_dirty = False
             idx = 0
             n = len(cohort)
             try:

@@ -89,6 +89,26 @@ class TestMPEGEncoder:
         f = MPEGEncoder(fps=30.0).encode("m", 90)
         assert f.duration_us == pytest.approx(3_000_000.0)
 
+    def test_batched_draws_match_per_frame_loop_bitwise(self):
+        """encode()'s single vectorized lognormal call must be
+        bit-identical to the reference one-draw-per-frame loop: same
+        generator-stream consumption, same scalar C arithmetic per
+        element (a SIMD ufunc substitute would not guarantee this)."""
+        import numpy as np
+
+        file = MPEGEncoder(rng=RandomStreams(seed=7)).encode("movie", 97)
+        ref = MPEGEncoder(rng=RandomStreams(seed=7))
+        gen = ref.rng.stream("mpeg:movie")
+        base = ref._base_sizes()
+        pattern = ref.gop.pattern()
+        expected = []
+        for i in range(97):
+            mean = base[pattern[i % len(pattern)]]
+            mu = np.log(mean) - ref.size_jitter**2 / 2.0
+            size = float(gen.lognormal(mu, ref.size_jitter))
+            expected.append(max(64, int(round(size))))
+        assert [f.size_bytes for f in file.frames] == expected
+
     def test_zero_jitter_sizes_exact(self):
         f = MPEGEncoder(size_jitter=0.0).encode("m", 24)
         i_sizes = {fr.size_bytes for fr in f if fr.ftype == FrameType.I}

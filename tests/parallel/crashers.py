@@ -40,6 +40,12 @@ def hang(seed: int = 0):
     return _tiny(seed, "hang")  # pragma: no cover - alarm fires first
 
 
+def slow(seed: int = 0, sleep_s: float = 0.5):
+    """Sleeps briefly then succeeds — a well-behaved but long job."""
+    time.sleep(sleep_s)
+    return _tiny(seed, "slow")
+
+
 def flaky(seed: int = 0, marker: str = ""):
     """Fails on the first attempt (creates *marker*), succeeds after."""
     if marker and not os.path.exists(marker):

@@ -16,6 +16,7 @@ OK = "tests.parallel.crashers:ok"
 BOOM = "tests.parallel.crashers:boom"
 DIE = "tests.parallel.crashers:die"
 HANG = "tests.parallel.crashers:hang"
+SLOW = "tests.parallel.crashers:slow"
 FLAKY = "tests.parallel.crashers:flaky"
 
 
@@ -124,6 +125,41 @@ class TestExecutorSideDeadline:
         assert by_exp[HANG].status == "failed"
         assert "JobTimeout" in by_exp[HANG].error
         assert by_exp[OK].ok
+
+    def test_queued_job_does_not_expire_while_pending(self, monkeypatch):
+        """A job's deadline clock starts when a worker picks it up, not at
+        submit: queued behind a slow batch-mate on a one-worker pool, a
+        short-budget job must run and succeed, not be falsely settled as
+        an executor-side timeout (with retries=0 that would be a
+        permanent failure for a job that never ran)."""
+        monkeypatch.setenv("REPRO_DISABLE_SIGALRM", "1")
+        jobs = [
+            Job(experiment=SLOW, config={"sleep_s": 0.8}),
+            Job(experiment=OK, seed=1, timeout_s=0.3, retries=0),
+        ]
+        report = SweepRunner(workers=1, cache=None, deadline_grace_s=0.1).run(jobs)
+        assert [o.status for o in report.outcomes] == ["ran", "ran"]
+
+    def test_deadlines_arm_only_for_running_futures(self):
+        """The deadline memo ignores futures the pool has not started."""
+
+        class FakeFuture:
+            def __init__(self, is_running):
+                self._is_running = is_running
+
+            def running(self):
+                return self._is_running
+
+        runner = SweepRunner(workers=1, cache=None, deadline_grace_s=0.0)
+        running, queued = FakeFuture(True), FakeFuture(False)
+        budgets = {running: 0.0, queued: 0.0}
+        deadlines = {}
+        # the zero budget expires the running future on the next check;
+        # the queued one must never be armed, however long it waits
+        runner._check_deadlines({running, queued}, budgets, deadlines)
+        expired = runner._check_deadlines({running, queued}, budgets, deadlines)
+        assert expired == [running]
+        assert queued not in deadlines
 
     def test_alarm_available_guards(self, monkeypatch):
         import signal
