@@ -1,0 +1,69 @@
+"""Scale-out cluster plane: N streaming nodes behind one front door.
+
+The paper's testbed is a cluster — "a server configured as 16 quad
+Pentium Pro nodes connected via I2O-based NIs" — and its scalability
+argument lives or dies on admission control staying cheap and correct as
+nodes come and go. This package adds that control plane on top of the
+existing single-node machinery:
+
+* :mod:`repro.cluster.placement` — pluggable stream-placement policies
+  (consistent hashing / least-loaded / locality-aware);
+* :mod:`repro.cluster.ledger` — the cluster-wide admission ledger with
+  full → degraded → parked backpressure accounting;
+* :mod:`repro.cluster.rpc` — hardened control RPCs (timeouts, capped
+  backoff with jitter, token dedup, circuit breakers);
+* :mod:`repro.cluster.node` — one supervised node: server + SAN card +
+  2-card HA service + control executor + heartbeat beacon;
+* :mod:`repro.cluster.frontdoor` — the fault-tolerant admission front
+  door: watchdog per node, at-most-once placement, node failover;
+* :mod:`repro.cluster.plane` — the whole assembly;
+* :mod:`repro.cluster.scenarios` — node-loss chaos campaigns.
+"""
+
+from .frontdoor import DEGRADED_ADMIT_FRACTION, PROBE_RTT_US, FrontDoor
+from .ledger import ClusterLedger, LedgerEntry, LedgerError
+from .node import CONTROL_EXEC_US, NODE_BEAT_INTERVAL_US, ClusterNode
+from .placement import (
+    POLICIES,
+    ConsistentHashPolicy,
+    LeastLoadedPolicy,
+    LocalityAwarePolicy,
+    NodeView,
+    PlacementPolicy,
+    make_policy,
+)
+from .plane import ClusterPlane
+from .rpc import (
+    CircuitBreaker,
+    ClusterRPC,
+    ControlChannel,
+    NodeDown,
+    RPCTimeout,
+)
+from .scenarios import CLUSTER_SCENARIOS
+
+__all__ = [
+    "CLUSTER_SCENARIOS",
+    "CONTROL_EXEC_US",
+    "DEGRADED_ADMIT_FRACTION",
+    "NODE_BEAT_INTERVAL_US",
+    "PROBE_RTT_US",
+    "POLICIES",
+    "CircuitBreaker",
+    "ClusterLedger",
+    "ClusterNode",
+    "ClusterPlane",
+    "ClusterRPC",
+    "ConsistentHashPolicy",
+    "ControlChannel",
+    "FrontDoor",
+    "LeastLoadedPolicy",
+    "LedgerEntry",
+    "LedgerError",
+    "LocalityAwarePolicy",
+    "NodeDown",
+    "NodeView",
+    "PlacementPolicy",
+    "RPCTimeout",
+    "make_policy",
+]

@@ -1,0 +1,217 @@
+"""The cluster-wide admission ledger.
+
+One book of record for where every stream lives. The front door is the
+only writer; every transition goes through a named method so the ledger
+can enforce the two invariants the chaos scenarios are scored against:
+
+* **no double-place** — :meth:`ClusterLedger.place` refuses a stream that
+  is already placed. A retried admission that slipped through the RPC
+  dedup layers still cannot put one stream on two nodes; it dies here,
+  loudly, instead.
+* **no unaccounted streams** — every stream the front door ever saw ends
+  the run in exactly one of ``placed`` / ``parked`` / ``lost`` (``displaced``
+  is the transient between a node dying and its streams being re-homed;
+  any ``displaced`` entry left at scoring time is an accounting bug and
+  the experiment reports it as *unaccounted*).
+
+Per-node placement counts are maintained incrementally on every
+transition *and* recomputable from the entries; :meth:`ClusterLedger.check`
+compares the two, which is what the property test interleaves
+admit/evict/migrate/crash against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["ClusterLedger", "LedgerEntry", "LedgerError"]
+
+#: legal entry states
+PLACED = "placed"
+DISPLACED = "displaced"
+PARKED = "parked"
+LOST = "lost"
+
+
+class LedgerError(RuntimeError):
+    """An illegal ledger transition (e.g. a double-place)."""
+
+
+@dataclass
+class LedgerEntry:
+    """Where one stream currently lives."""
+
+    stream_id: str
+    state: str
+    #: serving node name (None unless placed)
+    node: Optional[str]
+    #: admission tier while placed: "full" | "degraded"
+    tier: str
+    #: admission order (FIFO tiebreak for failover re-homing)
+    seq: int
+
+
+class ClusterLedger:
+    """Single-writer stream placement book with self-checking counters."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, LedgerEntry] = {}
+        #: incrementally maintained per-node placed counts
+        self._placed_per_node: dict[str, int] = {}
+        self._seq = 0
+        #: transition tally (reports + determinism checks)
+        self.transitions: dict[str, int] = {}
+
+    # -- transitions ---------------------------------------------------------
+    def place(self, stream_id: str, node: str, tier: str = "full") -> LedgerEntry:
+        """Record *stream_id* as served by *node*.
+
+        Legal from nowhere (fresh admission), ``displaced`` (failover
+        re-homing), and ``parked`` (backpressure released). A stream that
+        is already ``placed`` raises — this is the double-place backstop.
+        """
+        if tier not in ("full", "degraded"):
+            raise LedgerError(f"unknown admission tier {tier!r}")
+        entry = self._entries.get(stream_id)
+        if entry is not None and entry.state == PLACED:
+            raise LedgerError(
+                f"stream {stream_id!r} is already placed on {entry.node!r}: "
+                f"refusing double-place onto {node!r}"
+            )
+        if entry is None:
+            entry = LedgerEntry(stream_id, PLACED, node, tier, self._seq)
+            self._seq += 1
+            self._entries[stream_id] = entry
+        else:
+            entry.state, entry.node, entry.tier = PLACED, node, tier
+        self._placed_per_node[node] = self._placed_per_node.get(node, 0) + 1
+        self._bump("place")
+        return entry
+
+    def displace(self, stream_id: str) -> LedgerEntry:
+        """The serving node died under the stream; placement is void."""
+        entry = self._placed(stream_id, "displace")
+        self._placed_per_node[entry.node] -= 1
+        entry.state, entry.node = DISPLACED, None
+        self._bump("displace")
+        return entry
+
+    def park(self, stream_id: str) -> LedgerEntry:
+        """Backpressure: the stream holds no capacity anywhere.
+
+        Legal from any state (an admission that never placed parks too);
+        parking an already-parked stream is a no-op rather than an error —
+        both the rescind path and the capacity path may reach it.
+        """
+        entry = self._entries.get(stream_id)
+        if entry is None:
+            entry = LedgerEntry(stream_id, PARKED, None, "full", self._seq)
+            self._seq += 1
+            self._entries[stream_id] = entry
+        else:
+            if entry.state == PLACED:
+                self._placed_per_node[entry.node] -= 1
+            entry.state, entry.node = PARKED, None
+        self._bump("park")
+        return entry
+
+    def mark_lost(self, stream_id: str) -> LedgerEntry:
+        """Explicitly write a stream off (terminal)."""
+        entry = self._entries.get(stream_id)
+        if entry is None:
+            entry = LedgerEntry(stream_id, LOST, None, "full", self._seq)
+            self._seq += 1
+            self._entries[stream_id] = entry
+        else:
+            if entry.state == PLACED:
+                self._placed_per_node[entry.node] -= 1
+            entry.state, entry.node = LOST, None
+        self._bump("lost")
+        return entry
+
+    def evict(self, stream_id: str) -> None:
+        """The stream departed normally; drop it from the book."""
+        entry = self._placed(stream_id, "evict")
+        self._placed_per_node[entry.node] -= 1
+        del self._entries[stream_id]
+        self._bump("evict")
+
+    def _placed(self, stream_id: str, verb: str) -> LedgerEntry:
+        entry = self._entries.get(stream_id)
+        if entry is None or entry.state != PLACED:
+            state = "absent" if entry is None else entry.state
+            raise LedgerError(f"cannot {verb} {stream_id!r}: stream is {state}")
+        return entry
+
+    def _bump(self, kind: str) -> None:
+        self.transitions[kind] = self.transitions.get(kind, 0) + 1
+
+    # -- queries -------------------------------------------------------------
+    def entry(self, stream_id: str) -> Optional[LedgerEntry]:
+        return self._entries.get(stream_id)
+
+    def node_of(self, stream_id: str) -> Optional[str]:
+        entry = self._entries.get(stream_id)
+        return entry.node if entry is not None and entry.state == PLACED else None
+
+    def streams_on(self, node: str) -> list[str]:
+        """Placed streams on *node*, in admission (seq) order."""
+        return [
+            e.stream_id
+            for e in sorted(self._entries.values(), key=lambda e: e.seq)
+            if e.state == PLACED and e.node == node
+        ]
+
+    def placed_count(self, node: str) -> int:
+        return self._placed_per_node.get(node, 0)
+
+    @property
+    def total_placed(self) -> int:
+        return sum(self._placed_per_node.values())
+
+    def account(self) -> dict[str, int]:
+        """State census: {placed, degraded, parked, lost, displaced}."""
+        out = {"placed": 0, "degraded": 0, "parked": 0, "lost": 0, "displaced": 0}
+        for entry in self._entries.values():
+            if entry.state == PLACED:
+                out["placed"] += 1
+                if entry.tier == "degraded":
+                    out["degraded"] += 1
+            else:
+                out[entry.state] += 1
+        return out
+
+    # -- the self-check ------------------------------------------------------
+    def check(self) -> None:
+        """Recompute per-node counts from entries; raise on any divergence.
+
+        ``ledger total == Σ per-node placements`` after *any* interleaving
+        of admit/evict/migrate/park/crash is the invariant the property
+        test hammers.
+        """
+        recomputed: dict[str, int] = {}
+        for entry in self._entries.values():
+            if entry.state == PLACED:
+                if entry.node is None:
+                    raise LedgerError(f"placed stream {entry.stream_id!r} has no node")
+                recomputed[entry.node] = recomputed.get(entry.node, 0) + 1
+            elif entry.node is not None:
+                raise LedgerError(
+                    f"{entry.state} stream {entry.stream_id!r} still names "
+                    f"node {entry.node!r}"
+                )
+        incremental = {n: c for n, c in self._placed_per_node.items() if c}
+        if recomputed != incremental:
+            raise LedgerError(
+                f"ledger drift: entries say {recomputed}, "
+                f"counters say {incremental}"
+            )
+        if self.total_placed != sum(recomputed.values()):
+            raise LedgerError("ledger total != sum of per-node placements")
+
+    def __repr__(self) -> str:
+        return (
+            f"<ClusterLedger streams={len(self._entries)} "
+            f"placed={self.total_placed}>"
+        )

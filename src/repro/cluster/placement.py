@@ -1,0 +1,156 @@
+"""Stream-placement policies for the cluster front door.
+
+The paper leaves cluster-scale placement open ("admission control and
+online request scheduling" as the scalability levers); this module gives
+the front door its pluggable policy seam. A policy sees a snapshot of the
+healthy nodes (:class:`NodeView`) and returns a *preference order* — the
+front door then walks that order through admission, so a policy never has
+to know about headroom rejections, circuit breakers, or backpressure
+tiers; it only ranks.
+
+Three policies, the classic trade-off triangle:
+
+* ``hash`` — consistent hashing over a SHA-256 ring. Placement is a pure
+  function of the stream id and the node set: no shared load state, and
+  node loss only remaps the lost node's arc.
+* ``least-loaded`` — most admission headroom first. Best packing, but
+  requires the (front-door-local) load ledger.
+* ``locality`` — streams sharing a content group (the stream id's prefix
+  before the first ``-``) hash to the same home node, so one title's
+  sessions share a node's disk cache; ties and overflow fall back to
+  headroom order.
+
+All policies are deterministic: same inputs, same order — a requirement
+for the byte-identical cluster experiment runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "NodeView",
+    "PlacementPolicy",
+    "ConsistentHashPolicy",
+    "LeastLoadedPolicy",
+    "LocalityAwarePolicy",
+    "POLICIES",
+    "make_policy",
+]
+
+
+@dataclass(frozen=True)
+class NodeView:
+    """One healthy node as the placement policy sees it."""
+
+    index: int
+    name: str
+    #: remaining admissible mandatory utilization (summed over live cards)
+    headroom: float
+    #: streams the cluster ledger currently places on this node
+    streams: int
+
+
+def _ring_hash(key: str) -> int:
+    """Stable 64-bit ring position (first 8 bytes of SHA-256)."""
+    return int.from_bytes(hashlib.sha256(key.encode("utf-8")).digest()[:8], "big")
+
+
+class PlacementPolicy:
+    """Ranks candidate nodes for one stream (most preferred first)."""
+
+    name = "base"
+
+    def order(self, stream_id: str, nodes: Sequence[NodeView]) -> list[int]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class ConsistentHashPolicy(PlacementPolicy):
+    """SHA-256 ring with virtual nodes; walk clockwise from the stream."""
+
+    name = "hash"
+
+    def __init__(self, replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ValueError("need at least one virtual node per node")
+        self.replicas = replicas
+
+    def _ring(self, nodes: Sequence[NodeView]) -> list[tuple[int, int]]:
+        ring = sorted(
+            (_ring_hash(f"{node.name}#{r}"), node.index)
+            for node in nodes
+            for r in range(self.replicas)
+        )
+        return ring
+
+    def order(self, stream_id: str, nodes: Sequence[NodeView]) -> list[int]:
+        if not nodes:
+            return []
+        ring = self._ring(nodes)
+        start = bisect_right(ring, (_ring_hash(stream_id), -1))
+        seen: list[int] = []
+        for pos in range(len(ring)):
+            index = ring[(start + pos) % len(ring)][1]
+            if index not in seen:
+                seen.append(index)
+        return seen
+
+
+class LeastLoadedPolicy(PlacementPolicy):
+    """Most admission headroom first; node index breaks ties."""
+
+    name = "least-loaded"
+
+    def order(self, stream_id: str, nodes: Sequence[NodeView]) -> list[int]:
+        return [
+            node.index
+            for node in sorted(nodes, key=lambda n: (-n.headroom, n.index))
+        ]
+
+
+class LocalityAwarePolicy(PlacementPolicy):
+    """Content-group affinity first, headroom among the rest.
+
+    The group is the stream id's prefix before the first ``-`` (streams of
+    one media title share it), hashed onto the same consistent ring as
+    ``hash`` — so a title's sessions co-locate, and the fallback for a
+    full home node is load-aware rather than ring order.
+    """
+
+    name = "locality"
+
+    def __init__(self, replicas: int = 64) -> None:
+        self._ring = ConsistentHashPolicy(replicas)
+
+    @staticmethod
+    def group_of(stream_id: str) -> str:
+        return stream_id.split("-", 1)[0]
+
+    def order(self, stream_id: str, nodes: Sequence[NodeView]) -> list[int]:
+        if not nodes:
+            return []
+        home = self._ring.order(self.group_of(stream_id), nodes)[0]
+        rest = LeastLoadedPolicy().order(stream_id, nodes)
+        return [home] + [index for index in rest if index != home]
+
+
+POLICIES: dict[str, type] = {
+    ConsistentHashPolicy.name: ConsistentHashPolicy,
+    LeastLoadedPolicy.name: LeastLoadedPolicy,
+    LocalityAwarePolicy.name: LocalityAwarePolicy,
+}
+
+
+def make_policy(name: str) -> PlacementPolicy:
+    """Instantiate a policy by name, naming the valid set on a miss."""
+    cls = POLICIES.get(name)
+    if cls is None:
+        valid = ", ".join(sorted(POLICIES))
+        raise ValueError(f"unknown placement policy {name!r}; valid: {valid}")
+    return cls()

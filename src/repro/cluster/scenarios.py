@@ -1,0 +1,121 @@
+"""Cluster-scale chaos scenarios (node loss under load).
+
+Same :class:`~repro.faults.ChaosScenario` shape as the card-level
+campaigns, but the *service* argument handed to each installer is a
+:class:`~repro.cluster.plane.ClusterPlane` and the blast radius is a
+whole node:
+
+* ``node-crash`` — a node's scheduler cards *and* SAN card die together.
+  The front-door watchdog must declare the node dead within the 800 ms
+  budget and re-admit or park every ledgered stream (zero unaccounted).
+* ``fd-partition`` — the control channel between the front door and one
+  node goes black while the node keeps serving. The SAN probe still
+  answers, so the watchdog must classify *partitioned*, open the circuit
+  breaker (no new placements), and migrate nothing.
+* ``brownout`` — a slow node, not a dead one: its control channel drops
+  half its messages and its producer disks run 20x slow. Exercises the
+  RPC retry/backoff path and the shed hooks without any crash.
+
+``baseline`` installs nothing and must match an unfaulted run exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.faults import FaultPlane
+from repro.faults.scenarios import ChaosScenario
+
+__all__ = ["CLUSTER_SCENARIOS"]
+
+
+def _install_nothing(
+    plane: FaultPlane, cplane: Any, start_us: float, end_us: float
+) -> None:
+    """The control: no fault windows, no randomness drawn."""
+
+
+def _target_node(cplane: Any):
+    """The node the chaos aims at: n1 when it exists (keeps n0's placement
+    untouched in small clusters), else the last node."""
+    return cplane.nodes[min(1, len(cplane.nodes) - 1)]
+
+
+def _install_node_crash(
+    plane: FaultPlane, cplane: Any, start_us: float, end_us: float
+) -> None:
+    """One whole node dies: scheduler cards + SAN card, permanently.
+
+    The card list is resolved at fire time (a lambda), because the HA
+    service may still be placing streams when the scenario installs.
+    The plane's node-crash event crashes every card in one tick, which
+    fires the plane wiring that stamps the cluster fault instant.
+    """
+    target = _target_node(cplane)
+    plane.schedule_node_crash(
+        lambda: target.critical_cards, at_us=start_us, node=target.name
+    )
+
+
+def _mark_fault_at(plane: FaultPlane, cplane: Any, start_us: float) -> None:
+    """Partition/brownout crash nothing, so no on_crash hook stamps the
+    fault instant; schedule the stamp at fault onset instead."""
+    plane.env.schedule_callback(
+        start_us - plane.env.now,
+        lambda: cplane.meter.mark_fault(cplane.total_violations),
+        name="fault.mark:cluster",
+    )
+
+
+def _install_fd_partition(
+    plane: FaultPlane, cplane: Any, start_us: float, end_us: float
+) -> None:
+    """Total front-door↔node control partition; the node keeps serving."""
+    target = _target_node(cplane)
+    plane.inject_rpc_drop(target.channel.name, start_us, end_us, rate=1.0)
+    _mark_fault_at(plane, cplane, start_us)
+
+
+def _install_brownout(
+    plane: FaultPlane, cplane: Any, start_us: float, end_us: float
+) -> None:
+    """A slow node: lossy control path + 20x slower producer disks."""
+    target = _target_node(cplane)
+    plane.inject_rpc_drop(target.channel.name, start_us, end_us, rate=0.5)
+    plane.inject_disk_latency(f"{target.name}.*disk*", start_us, end_us, mult=20.0)
+    _mark_fault_at(plane, cplane, start_us)
+
+
+CLUSTER_SCENARIOS: dict[str, ChaosScenario] = {
+    s.name: s
+    for s in (
+        ChaosScenario(
+            name="baseline",
+            description="no faults (control: per-node Figure 9 behaviour)",
+            start_frac=0.5,
+            end_frac=0.5,
+            installer=_install_nothing,
+        ),
+        ChaosScenario(
+            name="node-crash",
+            description="one node's cards all die; streams re-home or park",
+            start_frac=0.4,
+            end_frac=1.0,
+            installer=_install_node_crash,
+        ),
+        ChaosScenario(
+            name="fd-partition",
+            description="front-door control link to one node goes black",
+            start_frac=0.4,
+            end_frac=0.6,
+            installer=_install_fd_partition,
+        ),
+        ChaosScenario(
+            name="brownout",
+            description="one node runs slow: 50% control loss, 20x disks",
+            start_frac=0.4,
+            end_frac=0.7,
+            installer=_install_brownout,
+        ),
+    )
+}

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Callable
 
 from .chaos import chaos, run_chaos_scenario
+from .cluster import cluster, run_cluster_scenario
 from .failover import failover, run_failover_scenario
 from .figures import (
     LoadedRun,
@@ -49,6 +50,8 @@ __all__ = [
     "mechanism_knockouts",
     "chaos",
     "run_chaos_scenario",
+    "cluster",
+    "run_cluster_scenario",
     "failover",
     "run_failover_scenario",
     "observe",
@@ -81,6 +84,7 @@ REGISTRY: dict[str, Callable[[], ExperimentResult]] = {
     "sens_costs": cost_sensitivity,
     "sens_knockouts": mechanism_knockouts,
     "chaos": chaos,
+    "cluster": cluster,
     "failover": failover,
     "observe": observe,
 }

@@ -20,6 +20,25 @@ from . import REGISTRY
 from .report import ExperimentResult
 
 
+def _scenario_registry(experiment: str):
+    """The scenario registry behind a scenario-driven experiment id
+    (None for experiments that are not scenario-driven). Imports lazily —
+    ``--list`` must stay cheap."""
+    if experiment == "chaos":
+        from repro.faults.scenarios import SCENARIOS
+
+        return SCENARIOS
+    if experiment == "failover":
+        from repro.faults.scenarios import FAILOVER_SCENARIOS
+
+        return FAILOVER_SCENARIOS
+    if experiment == "cluster":
+        from repro.cluster import CLUSTER_SCENARIOS
+
+        return CLUSTER_SCENARIOS
+    return None
+
+
 def _write_artifacts(result: ExperimentResult, directory: Path, name: str) -> None:
     directory.mkdir(parents=True, exist_ok=True)
     parts = [result.render()]
@@ -52,7 +71,19 @@ def main(argv: list[str] | None = None) -> int:
         metavar="ID",
         help="experiment ids to run (default: all)",
     )
-    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list experiment ids; with experiment ids given, list the "
+        "scenarios of each scenario-driven experiment instead",
+    )
+    parser.add_argument(
+        "--scenarios",
+        metavar="A,B",
+        default=None,
+        help="comma-separated scenario names for scenario-driven "
+        "experiments (chaos, failover, cluster); see --list",
+    )
     parser.add_argument(
         "--plots",
         metavar="DIR",
@@ -69,8 +100,21 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list:
-        for name in REGISTRY:
-            print(name)
+        if args.experiments:
+            unknown = [n for n in args.experiments if n not in REGISTRY]
+            if unknown:
+                parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+            for name in args.experiments:
+                registry = _scenario_registry(name)
+                if registry is None:
+                    print(f"{name}: (not scenario-driven)")
+                    continue
+                print(f"{name}:")
+                for scenario in registry.values():
+                    print(f"  {scenario.name:14s} {scenario.description}")
+        else:
+            for name in REGISTRY:
+                print(name)
         return 0
 
     names = args.experiments or list(REGISTRY)
@@ -78,11 +122,28 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
 
+    scenario_names = (
+        [s for s in args.scenarios.split(",") if s] if args.scenarios else None
+    )
     for name in names:
         runner = REGISTRY[name]
+        params = inspect.signature(runner).parameters
         kwargs = {}
-        if args.seed is not None and "seed" in inspect.signature(runner).parameters:
+        if args.seed is not None and "seed" in params:
             kwargs["seed"] = args.seed
+        if scenario_names is not None:
+            if "scenarios" not in params:
+                parser.error(f"experiment {name!r} does not take --scenarios")
+            registry = _scenario_registry(name)
+            if registry is not None:
+                from repro.faults.scenarios import resolve_scenario
+
+                try:
+                    for scenario in scenario_names:
+                        resolve_scenario(scenario, registry, kind=name)
+                except ValueError as exc:
+                    parser.error(str(exc))
+            kwargs["scenarios"] = scenario_names
         result = runner(**kwargs)
         print(result.render())
         print()

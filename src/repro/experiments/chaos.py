@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.faults import ChaosScenario, FaultPlane, SCENARIOS
+from repro.faults import ChaosScenario, FaultPlane, SCENARIOS, resolve_scenario
 from repro.sim import S
 
 from .calibration import SIM_DURATION_US
@@ -95,7 +95,7 @@ def run_chaos_scenario(
     seed: int = 42,
 ) -> ChaosRun:
     """Replay one named scenario against the Figure-9 configuration."""
-    scenario = SCENARIOS[name]
+    scenario = resolve_scenario(name, SCENARIOS, kind="chaos")
     fault_start_us, fault_end_us = scenario.fault_window_us(duration_us)
     holder: dict[str, FaultPlane] = {}
 

@@ -1,0 +1,273 @@
+"""The cluster experiment: node loss under load behind the front door.
+
+Beyond the paper's single-box measurements: N server nodes (each the
+Figure-9 host + NI configuration, doubled up with the PR-2 HA plane)
+behind the fault-tolerant admission front door of :mod:`repro.cluster`,
+replayed against the node-scale chaos campaigns of
+:mod:`repro.cluster.scenarios`:
+
+* ``baseline``  — no faults; every node serves its Figure-9-shaped load,
+* ``node-crash`` — one node's cards all die; the front door must detect
+  inside the 800 ms budget and re-admit or park every ledgered stream,
+* ``fd-partition`` — the control link to one node goes black; classify
+  partitioned, stop new placements, migrate nothing,
+* ``brownout``  — a slow node: lossy control path, 20x slower disks.
+
+Reported per scenario: per-stream settled bandwidth, the recovery
+milestones (detection latency, MTTR), the ledger census (placed /
+degraded / parked / lost / **unaccounted** — the last must be zero), the
+per-node placement spread, and the control-RPC telemetry (retries,
+timeouts, duplicate deliveries absorbed, rescinds). A static
+placement-policy comparison table shows how the three policies spread
+the same stream population.
+
+Runs are deterministic given a seed — byte-identical rows across
+repeats and across ``--jobs`` fan-out — which is what the CI
+``cluster-smoke`` job diffs.
+
+    python -m repro.experiments cluster --seed 42
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cluster import (
+    CLUSTER_SCENARIOS,
+    POLICIES,
+    ClusterPlane,
+    NodeView,
+    make_policy,
+)
+from repro.core.attributes import StreamSpec
+from repro.faults import FaultPlane
+from repro.faults.scenarios import ChaosScenario, resolve_scenario
+from repro.sim import Environment, RandomStreams
+
+from .calibration import (
+    NI_INJECT_GAP_US,
+    PREBUFFER_FRAMES,
+    SIM_DURATION_US,
+    figure_mpeg_file,
+)
+from .figures import STREAM_SERVICE_TIME_US, run_loading_experiment
+from .report import ExperimentResult
+
+__all__ = ["ClusterRun", "run_cluster_scenario", "cluster", "cluster_stream_specs"]
+
+#: fraction of the run at which the late admission wave arrives — inside
+#: every fault window, so backpressure is exercised while degraded
+LATE_WAVE_FRAC = 0.55
+
+
+def cluster_stream_specs(n_nodes: int) -> list[StreamSpec]:
+    """The initial stream population: two Figure-9-shaped streams per
+    node, grouped by content title (``g<k>-s<j>`` shares group ``g<k>``,
+    which is what the locality policy keys on)."""
+    return [
+        StreamSpec(f"g{k}-s{j}", period_us=333_333.0, loss_x=1, loss_y=2)
+        for k in range(n_nodes)
+        for j in (1, 2)
+    ]
+
+
+def _late_wave_specs() -> list[StreamSpec]:
+    return [
+        StreamSpec(f"late-s{j}", period_us=333_333.0, loss_x=1, loss_y=2)
+        for j in (1, 2)
+    ]
+
+
+@dataclass
+class ClusterRun:
+    """One cluster scenario's outcome."""
+
+    scenario: ChaosScenario
+    plane: ClusterPlane
+    fault_plane: FaultPlane
+    duration_us: float
+    specs: list[StreamSpec] = field(default_factory=list)
+
+    @property
+    def frontdoor(self):
+        return self.plane.frontdoor
+
+    @property
+    def meter(self):
+        return self.plane.meter
+
+    @property
+    def violations(self) -> int:
+        return self.plane.total_violations
+
+    @property
+    def injected(self) -> int:
+        return self.fault_plane.total_injected
+
+    def settled_bandwidth(self, stream_id: str, window=(0.7, 0.95)) -> float:
+        """Delivered bps on the stream's *current* node over a late
+        window (post-recovery for every scenario); 0.0 when parked."""
+        service = self.plane.service_of(stream_id)
+        if service is None:
+            return 0.0
+        return service.reception(stream_id).mean_bandwidth_bps(
+            window[0] * self.duration_us, window[1] * self.duration_us
+        )
+
+
+def run_cluster_scenario(
+    name: str,
+    duration_us: float = SIM_DURATION_US,
+    seed: int = 42,
+    n_nodes: int = 3,
+    policy: str = "least-loaded",
+) -> ClusterRun:
+    """Replay one node-scale chaos campaign against a full cluster."""
+    scenario = resolve_scenario(name, CLUSTER_SCENARIOS, kind="cluster")
+    env = Environment()
+    rng = RandomStreams(seed + 3000)
+    plane = ClusterPlane(env, n_nodes=n_nodes, policy=policy, rng=rng)
+    fault_plane = FaultPlane(env, seed=seed + 2000)
+    specs = cluster_stream_specs(n_nodes)
+    late = _late_wave_specs()
+    n_frames = max(64, int(duration_us / 280_000.0) + 64)
+    files = {
+        spec.stream_id: figure_mpeg_file(spec.stream_id, seed=seed + i, n_frames=n_frames)
+        for i, spec in enumerate(specs + late)
+    }
+
+    def admit_wave(wave: list[StreamSpec]):
+        def proc():
+            for spec in wave:
+                yield from plane.frontdoor.admit_stream(
+                    spec,
+                    STREAM_SERVICE_TIME_US,
+                    files[spec.stream_id],
+                    inject_gap_us=NI_INJECT_GAP_US,
+                    prebuffer_frames=PREBUFFER_FRAMES,
+                )
+        return proc
+
+    env.process(admit_wave(specs)(), name="cluster.admit:initial")
+    env.schedule_callback(
+        LATE_WAVE_FRAC * duration_us,
+        lambda: env.process(admit_wave(late)(), name="cluster.admit:late"),
+        name="cluster.admit:late-wave",
+    )
+    scenario.install(fault_plane, plane, duration_us)
+    env.run(until=duration_us)
+    # the ledger self-check: incremental counters must equal a recount
+    plane.ledger.check()
+    return ClusterRun(
+        scenario=scenario,
+        plane=plane,
+        fault_plane=fault_plane,
+        duration_us=duration_us,
+        specs=specs + late,
+    )
+
+
+def _policy_comparison_rows(result: ExperimentResult, n_nodes: int) -> None:
+    """Static placement spread of each policy over equal empty nodes.
+
+    Pure function of the policy — no simulation — so the table isolates
+    *where* each policy sends the same stream population before load or
+    faults skew anything."""
+    views = [
+        NodeView(index=i, name=f"cluster.n{i}", headroom=2.0, streams=0)
+        for i in range(n_nodes)
+    ]
+    stream_ids = [spec.stream_id for spec in cluster_stream_specs(n_nodes)]
+    for name in sorted(POLICIES):
+        policy = make_policy(name)
+        first_choice = {sid: policy.order(sid, views)[0] for sid in stream_ids}
+        spread = len(set(first_choice.values()))
+        placing = " ".join(f"{sid}->n{first_choice[sid]}" for sid in stream_ids)
+        result.add_row(
+            f"policy {name}: first-choice spread",
+            float(spread),
+            note=placing,
+        )
+
+
+def cluster(
+    duration_us: float = SIM_DURATION_US,
+    seed: int = 42,
+    scenarios: Optional[list[str]] = None,
+    n_nodes: int = 3,
+    policy: str = "least-loaded",
+) -> ExperimentResult:
+    """Run every cluster campaign and tabulate recovery + accounting."""
+    result = ExperimentResult(
+        exp_id="Cluster",
+        title=(
+            f"cluster front door: {n_nodes} nodes, policy {policy}, "
+            f"node-loss chaos (seed {seed})"
+        ),
+    )
+
+    # -- control: the single-node Figure 9 path, untouched ------------------
+    control = run_loading_experiment("ni", "none", duration_us=duration_us, seed=seed)
+    for sid in sorted(control.service.engine.scheduler.queues):
+        result.add_row(
+            f"control: {sid} settled bandwidth",
+            control.settled_bandwidth(sid),
+            unit="bps",
+            note="plain single-node Figure 9 run (per-node reference)",
+        )
+
+    _policy_comparison_rows(result, n_nodes)
+
+    names = scenarios if scenarios is not None else list(CLUSTER_SCENARIOS)
+    for name in names:
+        run = run_cluster_scenario(
+            name, duration_us=duration_us, seed=seed, n_nodes=n_nodes, policy=policy
+        )
+        fd = run.frontdoor
+        for spec in run.specs:
+            sid = spec.stream_id
+            entry = run.plane.ledger.entry(sid)
+            state = entry.state if entry is not None else "absent"
+            result.add_row(
+                f"{name}: {sid} settled bandwidth",
+                run.settled_bandwidth(sid),
+                unit="bps",
+                note=(run.scenario.description if spec is run.specs[0] else state),
+            )
+        for label, value, unit, note in run.meter.rows(run.violations):
+            result.add_row(f"{name}: {label}", value, unit=unit, note=note)
+        for label, value in sorted(run.plane.account().items()):
+            result.add_row(f"{name}: ledger {label}", float(value))
+        for node in run.plane.nodes:
+            result.add_row(
+                f"{name}: {node.name} streams placed",
+                float(run.plane.ledger.placed_count(node.name)),
+            )
+        result.add_row(f"{name}: violations (total)", float(run.violations))
+        result.add_row(f"{name}: faults injected", float(run.injected))
+        for key, value in run.plane.rpc.telemetry().items():
+            result.add_row(f"{name}: rpc {key}", float(value))
+        result.add_row(
+            f"{name}: rpc dups absorbed",
+            float(sum(node.dup_suppressed for node in run.plane.nodes)),
+        )
+        result.add_row(f"{name}: ambiguous admits", float(fd.ambiguous_admits))
+        result.add_row(f"{name}: rescind parks", float(fd.rescind_parks))
+        result.add_row(
+            f"{name}: breaker opens",
+            float(sum(b.opens for b in fd.breakers)),
+        )
+    result.notes.append(
+        "zero unaccounted: every stream ends placed, parked, or lost — "
+        "'streams unaccounted' rows must read 0"
+    )
+    result.notes.append(
+        "at-most-once placement: an admit whose every retry timed out is "
+        "rescinded before any other node is tried; unresolvable rescinds park"
+    )
+    result.notes.append(
+        "deterministic: identical seed => identical placement, detection, "
+        "and accounting rows (byte-identical across --jobs fan-out)"
+    )
+    return result

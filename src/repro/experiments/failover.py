@@ -31,7 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.faults import FAILOVER_SCENARIOS, ChaosScenario, FaultPlane
+from repro.faults import FAILOVER_SCENARIOS, ChaosScenario, FaultPlane, resolve_scenario
 from repro.hw.ethernet import EthernetSwitch
 from repro.server.failover import HAStreamingService
 from repro.server.node import ServerNode
@@ -85,7 +85,7 @@ def run_failover_scenario(
     n_cards: int = 2,
 ) -> FailoverRun:
     """Replay one failover campaign against the HA service."""
-    scenario = FAILOVER_SCENARIOS[name]
+    scenario = resolve_scenario(name, FAILOVER_SCENARIOS, kind="failover")
     env = Environment()
     # Figure 9's host configuration ("one CPU is brought off-line"), with a
     # second scheduler card as the failover target.

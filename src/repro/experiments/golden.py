@@ -59,6 +59,7 @@ GOLDEN_IDS = (
     "figure9",
     "figure10",
     "chaos",
+    "cluster",
     "failover",
     "observe",
     # sensitivity runners are pinned too, so sweeping over them is
@@ -69,7 +70,7 @@ GOLDEN_IDS = (
 )
 
 #: the scaled-down set the tier-1 suite recomputes on every run
-SHORT_IDS = ("figure9", "chaos", "failover", "sens_costs", "sens_knockouts")
+SHORT_IDS = ("figure9", "chaos", "failover", "cluster", "sens_costs", "sens_knockouts")
 
 #: 10 simulated seconds: long enough for streams to settle and every
 #: chaos/failover fault window to open and clear, short enough for CI

@@ -49,6 +49,8 @@ __all__ = [
     "replicate_jobs",
     "sensitivity_jobs",
     "scenario_jobs",
+    "cluster_jobs",
+    "DEFAULT_NODE_GRID",
     "merge_replicate",
     "merge_matrix",
     "write_sweep_artifacts",
@@ -63,6 +65,9 @@ DEFAULT_SEEDS = 5
 
 #: the cost-constant perturbation grid swept by ``sweep sensitivity``
 DEFAULT_SCALES = (1.25, 1.5, 1.75, 2.0)
+
+#: the node-count grid swept by ``sweep cluster``
+DEFAULT_NODE_GRID = (2, 3, 4)
 
 #: where the sweep artifacts land unless the caller overrides it
 DEFAULT_OUT_DIR = os.path.join("out", "sweep")
@@ -106,7 +111,8 @@ def sensitivity_jobs(
 def scenario_jobs(
     seed: int = 42, duration_us: Optional[float] = None
 ) -> list[Job]:
-    """The chaos + failover campaign matrices, one job per scenario."""
+    """The chaos + failover + cluster campaigns, one job per scenario."""
+    from repro.cluster import CLUSTER_SCENARIOS
     from repro.faults import FAILOVER_SCENARIOS, SCENARIOS
 
     jobs = [
@@ -127,7 +133,39 @@ def scenario_jobs(
         )
         for name in FAILOVER_SCENARIOS
     ]
+    jobs += [
+        Job(
+            experiment="cluster",
+            seed=seed,
+            duration_us=duration_us,
+            config={"scenarios": [name]},
+        )
+        for name in CLUSTER_SCENARIOS
+    ]
     return jobs
+
+
+def cluster_jobs(
+    nodes: Sequence[int] = DEFAULT_NODE_GRID,
+    seed: int = 42,
+    duration_us: Optional[float] = None,
+    scenarios: Sequence[str] = ("baseline", "node-crash"),
+) -> list[Job]:
+    """The scale-out axis: served streams vs node count.
+
+    One cluster job per (node count, scenario) cell — ``baseline`` shows
+    how many streams the front door serves as nodes are added,
+    ``node-crash`` how the recovery metrics hold up at each scale."""
+    return [
+        Job(
+            experiment="cluster",
+            seed=seed,
+            duration_us=duration_us,
+            config={"n_nodes": int(n), "scenarios": [name]},
+        )
+        for n in nodes
+        for name in scenarios
+    ]
 
 
 # -- deterministic merges ----------------------------------------------------
@@ -279,9 +317,15 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument(
         "mode",
         nargs="?",
-        choices=["replicate", "sensitivity", "scenarios"],
+        choices=["replicate", "sensitivity", "scenarios", "cluster"],
         default="replicate",
         help="which matrix to sweep (default: replicate)",
+    )
+    parser.add_argument(
+        "--nodes",
+        default=",".join(str(n) for n in DEFAULT_NODE_GRID),
+        metavar="N,M,...",
+        help="cluster mode: node-count grid (served streams vs node count)",
     )
     parser.add_argument(
         "--experiments",
@@ -347,9 +391,16 @@ def main(argv: Optional[list[str]] = None) -> int:
             duration_us=args.duration,
         )
         title = "cost-constant grid + mechanism knockouts"
+    elif args.mode == "cluster":
+        jobs = cluster_jobs(
+            [int(n) for n in _csv(args.nodes)],
+            seed=args.seed_base,
+            duration_us=args.duration,
+        )
+        title = f"cluster scale-out: nodes x scenarios (grid {args.nodes})"
     else:
         jobs = scenario_jobs(seed=args.seed_base, duration_us=args.duration)
-        title = "chaos + failover campaign matrix"
+        title = "chaos + failover + cluster campaign matrix"
 
     cache = None
     if not args.no_cache:
@@ -367,6 +418,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         merged = merge_replicate(report, title)
     elif args.mode == "sensitivity":
         merged = merge_matrix(report, "Sweep: sensitivity", title)
+    elif args.mode == "cluster":
+        merged = merge_matrix(report, "Sweep: cluster", title)
     else:
         merged = merge_matrix(report, "Sweep: scenarios", title)
 

@@ -11,7 +11,12 @@ experiment harness measures recovery from.
 """
 
 from .plane import FaultPlane, FaultWindow
-from .scenarios import ChaosScenario, FAILOVER_SCENARIOS, SCENARIOS
+from .scenarios import (
+    ChaosScenario,
+    FAILOVER_SCENARIOS,
+    SCENARIOS,
+    resolve_scenario,
+)
 
 __all__ = [
     "FaultPlane",
@@ -19,4 +24,5 @@ __all__ = [
     "ChaosScenario",
     "SCENARIOS",
     "FAILOVER_SCENARIOS",
+    "resolve_scenario",
 ]

@@ -23,19 +23,26 @@ Supported fault kinds:
   and NI, or is delivered twice (bridge retry);
 * ``udp-drop`` / ``udp-dup`` — a UDP datagram is lost or duplicated inside
   the sending stack (buffer exhaustion, retransmitting bridge), before it
-  ever reaches the switch.
+  ever reaches the switch;
+* ``rpc-drop`` / ``rpc-dup`` — a cluster control-plane message (admission
+  RPC, node heartbeat) is lost on its control channel, or delivered twice
+  by a retrying fabric — the windows the at-most-once placement proofs of
+  :mod:`repro.cluster` run under.
 
 NI card crash/reset is event-shaped rather than windowed:
 :meth:`FaultPlane.schedule_card_crash` drives a card's ``crash()`` and
 ``reset()`` hooks at fixed times; ``down_us=None`` crashes the card
 permanently (no reset is scheduled), the failover experiments' case.
+:meth:`FaultPlane.schedule_node_crash` is the cluster-scale analogue: it
+takes every i960 card of a server node down at once (the node's power
+supply dying, not a single board wedging).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from fnmatch import fnmatchcase
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Union
 
 from repro.sim import Environment, RandomStreams
 
@@ -169,6 +176,27 @@ class FaultPlane:
             FaultWindow("udp-dup", target, start_us, end_us, rate=rate)
         )
 
+    def inject_rpc_drop(
+        self, target: str, start_us: float, end_us: float, rate: float
+    ) -> FaultWindow:
+        """Cluster control-plane messages on channels matching *target* are
+        lost in flight (rate 1.0 over a channel is a front-door partition)."""
+        if not 0.0 < rate <= 1.0:
+            raise ValueError("drop rate must be in (0, 1]")
+        return self.add_window(
+            FaultWindow("rpc-drop", target, start_us, end_us, rate=rate)
+        )
+
+    def inject_rpc_duplication(
+        self, target: str, start_us: float, end_us: float, rate: float
+    ) -> FaultWindow:
+        """Control-plane messages are delivered twice (a retrying fabric)."""
+        if not 0.0 < rate <= 1.0:
+            raise ValueError("duplication rate must be in (0, 1]")
+        return self.add_window(
+            FaultWindow("rpc-dup", target, start_us, end_us, rate=rate)
+        )
+
     def schedule_card_crash(
         self, card: "I960RDCard", at_us: float, down_us: Optional[float]
     ) -> None:
@@ -197,6 +225,39 @@ class FaultPlane:
             self.env.schedule_callback(
                 at_us + down_us - self.env.now, _reset, name="fault.reset"
             )
+
+    def schedule_node_crash(
+        self,
+        cards: Union[Sequence["I960RDCard"], Callable[[], Sequence["I960RDCard"]]],
+        at_us: float,
+        node: Optional[str] = None,
+    ) -> None:
+        """Crash every card in *cards* at ``at_us`` — a whole node dying.
+
+        *cards* may be a sequence or a zero-argument callable evaluated at
+        fire time (so a scenario can name a node before its plane has
+        finished wiring cards). The crash is permanent: node-level
+        recovery, if any, is a failover/re-admission path. One
+        ``node-crash`` injection is counted regardless of card count.
+        """
+        if at_us < self.env.now:
+            raise ValueError("cannot schedule a crash in the past")
+
+        def _crash() -> None:
+            resolved = list(cards() if callable(cards) else cards)
+            self._count("node-crash")
+            self._trace(
+                "node-crash",
+                node=node or "?",
+                cards=",".join(c.name for c in resolved),
+            )
+            for card in resolved:
+                if not card.crashed:
+                    card.crash()
+
+        self.env.schedule_callback(
+            at_us - self.env.now, _crash, name="fault.node-crash"
+        )
 
     # -- injection oracle (called from hardware hooks) ----------------------
     def frame_lost(self, port_name: str) -> bool:
@@ -257,6 +318,22 @@ class FaultPlane:
             return False
         self._count("udp-dup")
         self._trace("udp-dup", stack=stack_name)
+        return True
+
+    def rpc_dropped(self, channel_name: str) -> bool:
+        window = self._active("rpc-drop", channel_name)
+        if window is None or not self._draw("rpc", window.rate):
+            return False
+        self._count("rpc-drop")
+        self._trace("rpc-drop", channel=channel_name)
+        return True
+
+    def rpc_duplicated(self, channel_name: str) -> bool:
+        window = self._active("rpc-dup", channel_name)
+        if window is None or not self._draw("rpc", window.rate):
+            return False
+        self._count("rpc-dup")
+        self._trace("rpc-dup", channel=channel_name)
         return True
 
     # -- internals ----------------------------------------------------------

@@ -20,7 +20,12 @@ from typing import Any, Callable, Tuple
 
 from .plane import FaultPlane
 
-__all__ = ["ChaosScenario", "SCENARIOS", "FAILOVER_SCENARIOS"]
+__all__ = [
+    "ChaosScenario",
+    "SCENARIOS",
+    "FAILOVER_SCENARIOS",
+    "resolve_scenario",
+]
 
 #: (plane, service, fault_start_us, fault_end_us) -> None
 Installer = Callable[[FaultPlane, Any, float, float], None]
@@ -44,6 +49,24 @@ class ChaosScenario:
         """Schedule this scenario's faults for a run of *duration_us*."""
         start_us, end_us = self.fault_window_us(duration_us)
         self.installer(plane, service, start_us, end_us)
+
+
+def resolve_scenario(
+    name: str, registry: dict[str, ChaosScenario], kind: str = "chaos"
+) -> ChaosScenario:
+    """Look up *name* in *registry*, failing with the valid set spelled out.
+
+    Every scenario-driven runner funnels its CLI names through here so a
+    typo'd ``--scenarios card-crsh`` reports the *kind* of scenario and
+    the names that would have worked, instead of a bare ``KeyError``.
+    """
+    scenario = registry.get(name)
+    if scenario is None:
+        valid = ", ".join(sorted(registry))
+        raise ValueError(
+            f"unknown {kind} scenario {name!r}; valid scenarios: {valid}"
+        )
+    return scenario
 
 
 def _install_nothing(

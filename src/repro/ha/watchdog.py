@@ -30,6 +30,10 @@ from repro.sim import Environment
 
 __all__ = ["Watchdog"]
 
+#: a probe is any zero-argument process factory returning True (alive)
+#: or False (dead) — the default is the card's own PCI status probe
+ProbeFactory = Callable[[], Generator]
+
 #: consecutive missed beats before the card is suspected
 DEFAULT_K_MISSED = 3
 
@@ -48,6 +52,7 @@ class Watchdog:
         k_missed: int = DEFAULT_K_MISSED,
         grace_us: Optional[float] = None,
         name: Optional[str] = None,
+        probe: Optional[ProbeFactory] = None,
     ) -> None:
         if interval_us <= 0:
             raise ValueError("beat interval must be positive")
@@ -55,6 +60,12 @@ class Watchdog:
             raise ValueError("need at least one missed beat to suspect")
         self.env = env
         self.card = card
+        # The classification probe. The in-chassis default is the card's
+        # PCI status probe; a cluster front door supervising a *remote*
+        # node passes a probe that crosses the SAN first (the health sweep
+        # of repro.cluster), so crash-vs-partition classification still
+        # works where no PIO path to the board exists.
+        self._probe: ProbeFactory = probe if probe is not None else card.status_probe
         self.interval_us = interval_us
         self.k_missed = k_missed
         self.grace_us = GRACE_FRACTION * interval_us if grace_us is None else grace_us
@@ -125,7 +136,7 @@ class Watchdog:
             obs = self.env.obs
             if obs is not None:
                 obs.count("watchdog.suspicions", card=self.card.name)
-            alive = yield from self.card.status_probe()
+            alive = yield from self._probe()
             if not alive:
                 self.state = "dead"
                 self.declared_dead_at_us = self.env.now

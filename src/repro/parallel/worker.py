@@ -59,6 +59,24 @@ def alarm_available() -> bool:
     )
 
 
+def _check_config_keys(config: dict, params, experiment: str) -> None:
+    """A config key the runner's signature doesn't name is a job-spec bug.
+
+    Silently dropping it would run a *different* experiment than the job
+    digest claims (and the cache would happily serve the wrong cell), so
+    unknown keys fail the job with the accepted names spelled out. The
+    harness-owned kwargs (seed / duration_us / out_dir) stay leniently
+    filtered — they are plumbing, not experiment parameters.
+    """
+    unknown = sorted(k for k in config if k not in params)
+    if unknown:
+        accepted = ", ".join(sorted(params)) or "(none)"
+        raise ValueError(
+            f"unknown config key(s) {', '.join(map(repr, unknown))} for "
+            f"experiment {experiment!r}; accepted parameters: {accepted}"
+        )
+
+
 def _resolve_and_run(canonical: dict) -> Any:
     """Run the experiment a canonical job dict names; returns its result."""
     from repro.experiments import golden
@@ -71,6 +89,7 @@ def _resolve_and_run(canonical: dict) -> Any:
         module_name, attr = experiment.split(":", 1)
         runner = getattr(importlib.import_module(module_name), attr)
         params = inspect.signature(runner).parameters
+        _check_config_keys(config, params, experiment)
         kwargs = {}
         if "seed" in params:
             kwargs["seed"] = seed
@@ -78,9 +97,15 @@ def _resolve_and_run(canonical: dict) -> Any:
             kwargs["duration_us"] = duration_us
         if "out_dir" in params:
             kwargs["out_dir"] = None
-        kwargs.update({k: v for k, v in config.items() if k in params})
+        kwargs.update(config)
         return runner(**kwargs)
     # registry experiments go through the same path the golden digests use
+    from repro.experiments import REGISTRY
+
+    if experiment in REGISTRY:
+        _check_config_keys(
+            config, inspect.signature(REGISTRY[experiment]).parameters, experiment
+        )
     return golden.compute_result(
         experiment, seed=seed, duration_us=duration_us, out_dir=None, **config
     )

@@ -343,9 +343,9 @@ class HAStreamingService(_BaseService):
         queue = runtime.scheduler.queues[frame.stream_id]
         while queue.full and not runtime.card.crashed:
             yield self.env.timeout(ROUTE_POLL_US)
-        if runtime.card.crashed:
-            # the card died between routing and submission; the frame body
-            # is already lost with the card's memory
+        if runtime.card.crashed or frame.stream_id not in runtime.scheduler.streams:
+            # the card died — or the stream was evicted/rescinded off this
+            # card — between routing and submission; the frame body is lost
             self.frames_lost_in_migration += 1
             obs = self.env.obs
             if obs is not None:

@@ -94,8 +94,10 @@ class Environment:
         #: current simulated time in microseconds; written only by the
         #: kernel (``step``/``run``), read everywhere
         self.now = float(initial_time)
+        from_env = False
         if queue is None:
             queue = os.environ.get(QUEUE_ENV_VAR, "heap")
+            from_env = True
         if queue == "heap":
             self._queue: Any = []
             #: the one scheduling entry point every trigger path calls; a
@@ -105,6 +107,15 @@ class Environment:
         else:
             if queue == "calendar":
                 queue = CalendarEventQueue()
+            elif isinstance(queue, str):
+                # Catch the typo at construction, not as an obscure failure
+                # deep in the run loop — and say where the bad name came
+                # from when it rode in through the environment variable.
+                source = f" (from {QUEUE_ENV_VAR})" if from_env else ""
+                raise SimulationError(
+                    f"unknown event queue {queue!r}{source}; "
+                    "valid names: 'heap', 'calendar'"
+                )
             elif not (hasattr(queue, "push") and hasattr(queue, "pop_cohort")):
                 raise SimulationError(
                     f"queue must be 'heap', 'calendar', or a queue object, got {queue!r}"

@@ -1,0 +1,135 @@
+"""The cluster admission ledger: transitions, invariants, property test."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterLedger, LedgerError
+
+NODES = ("n0", "n1", "n2")
+
+
+class TestTransitions:
+    def test_place_then_account(self):
+        ledger = ClusterLedger()
+        ledger.place("s1", "n0")
+        ledger.place("s2", "n0", tier="degraded")
+        assert ledger.account() == {
+            "placed": 2, "degraded": 1, "parked": 0, "lost": 0, "displaced": 0,
+        }
+        assert ledger.placed_count("n0") == 2
+        assert ledger.streams_on("n0") == ["s1", "s2"]
+
+    def test_double_place_refused(self):
+        """The backstop the at-most-once machinery leans on."""
+        ledger = ClusterLedger()
+        ledger.place("s1", "n0")
+        with pytest.raises(LedgerError, match="already placed on 'n0'"):
+            ledger.place("s1", "n1")
+
+    def test_displace_then_replace(self):
+        ledger = ClusterLedger()
+        ledger.place("s1", "n0")
+        ledger.displace("s1")
+        assert ledger.node_of("s1") is None
+        assert ledger.account()["displaced"] == 1
+        ledger.place("s1", "n1")
+        assert ledger.node_of("s1") == "n1"
+        assert ledger.placed_count("n0") == 0
+        assert ledger.placed_count("n1") == 1
+
+    def test_park_from_any_state_and_reparks_are_noops(self):
+        ledger = ClusterLedger()
+        ledger.park("never-placed")
+        ledger.place("s1", "n0")
+        ledger.park("s1")
+        ledger.park("s1")
+        assert ledger.account()["parked"] == 2
+        assert ledger.total_placed == 0
+
+    def test_evict_removes_the_entry(self):
+        ledger = ClusterLedger()
+        ledger.place("s1", "n0")
+        ledger.evict("s1")
+        assert ledger.entry("s1") is None
+        assert ledger.placed_count("n0") == 0
+
+    def test_evict_requires_placed(self):
+        ledger = ClusterLedger()
+        with pytest.raises(LedgerError, match="absent"):
+            ledger.evict("ghost")
+        ledger.park("s1")
+        with pytest.raises(LedgerError, match="parked"):
+            ledger.evict("s1")
+
+    def test_displace_requires_placed(self):
+        ledger = ClusterLedger()
+        with pytest.raises(LedgerError):
+            ledger.displace("ghost")
+
+    def test_mark_lost_is_terminal_accounting(self):
+        ledger = ClusterLedger()
+        ledger.place("s1", "n0")
+        ledger.mark_lost("s1")
+        assert ledger.account()["lost"] == 1
+        assert ledger.total_placed == 0
+
+    def test_unknown_tier_rejected(self):
+        ledger = ClusterLedger()
+        with pytest.raises(LedgerError, match="tier"):
+            ledger.place("s1", "n0", tier="bronze")
+
+    def test_check_passes_on_fresh_and_worked_ledger(self):
+        ledger = ClusterLedger()
+        ledger.check()
+        ledger.place("s1", "n0")
+        ledger.displace("s1")
+        ledger.place("s1", "n1")
+        ledger.park("s1")
+        ledger.check()
+
+
+# -- the property test: any legal interleaving keeps the books balanced ------
+
+#: one step of an admit/evict/migrate/park/crash interleaving
+_step = st.tuples(
+    st.sampled_from(["place", "evict", "displace", "park", "lost", "crash"]),
+    st.integers(min_value=0, max_value=7),  # stream
+    st.integers(min_value=0, max_value=2),  # node
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(_step, max_size=60))
+def test_ledger_total_equals_sum_of_per_node_placements(steps):
+    """After ANY interleaving of admit/evict/migrate/crash the incremental
+    counters must equal a recount from the entries, and the total must be
+    the sum of the per-node placements (check() raises otherwise)."""
+    ledger = ClusterLedger()
+    for verb, stream, node in steps:
+        sid = f"s{stream}"
+        entry = ledger.entry(sid)
+        state = entry.state if entry is not None else "absent"
+        if verb == "place":
+            if state != "placed":
+                ledger.place(sid, NODES[node])
+        elif verb == "evict":
+            if state == "placed":
+                ledger.evict(sid)
+        elif verb == "displace":
+            if state == "placed":
+                ledger.displace(sid)
+        elif verb == "park":
+            ledger.park(sid)
+        elif verb == "lost":
+            ledger.mark_lost(sid)
+        elif verb == "crash":
+            # a node crash displaces every stream it serves, atomically
+            for victim in ledger.streams_on(NODES[node]):
+                ledger.displace(victim)
+        ledger.check()
+        census = ledger.account()
+        assert census["placed"] == ledger.total_placed
+        assert ledger.total_placed == sum(
+            ledger.placed_count(n) for n in NODES
+        )

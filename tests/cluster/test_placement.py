@@ -1,0 +1,97 @@
+"""Placement policies: determinism, remap locality, load awareness."""
+
+import pytest
+
+from repro.cluster import (
+    ConsistentHashPolicy,
+    LeastLoadedPolicy,
+    LocalityAwarePolicy,
+    NodeView,
+    POLICIES,
+    make_policy,
+)
+
+
+def views(n, headroom=None):
+    return [
+        NodeView(
+            index=i,
+            name=f"cluster.n{i}",
+            headroom=1.0 if headroom is None else headroom[i],
+            streams=0,
+        )
+        for i in range(n)
+    ]
+
+
+class TestRegistry:
+    def test_three_policies_registered(self):
+        assert set(POLICIES) == {"hash", "least-loaded", "locality"}
+
+    def test_make_policy_unknown_name_lists_valid_set(self):
+        with pytest.raises(ValueError, match="hash.*least-loaded.*locality"):
+            make_policy("round-robin")
+
+
+class TestConsistentHash:
+    def test_order_is_a_permutation_of_all_nodes(self):
+        order = ConsistentHashPolicy().order("s1", views(5))
+        assert sorted(order) == [0, 1, 2, 3, 4]
+
+    def test_deterministic(self):
+        a = ConsistentHashPolicy().order("g0-s1", views(4))
+        b = ConsistentHashPolicy().order("g0-s1", views(4))
+        assert a == b
+
+    def test_node_loss_only_remaps_the_lost_nodes_streams(self):
+        """The consistent-hash selling point: removing one node leaves
+        every stream homed elsewhere exactly where it was."""
+        policy = ConsistentHashPolicy()
+        full = views(4)
+        streams = [f"g{k}-s{j}" for k in range(6) for j in (1, 2)]
+        before = {sid: policy.order(sid, full)[0] for sid in streams}
+        lost = 2
+        survivors = [v for v in full if v.index != lost]
+        after = {sid: policy.order(sid, survivors)[0] for sid in streams}
+        for sid in streams:
+            if before[sid] != lost:
+                assert after[sid] == before[sid]
+
+    def test_spread_over_enough_streams(self):
+        policy = ConsistentHashPolicy()
+        firsts = {policy.order(f"s{i}", views(4))[0] for i in range(64)}
+        assert firsts == {0, 1, 2, 3}
+
+
+class TestLeastLoaded:
+    def test_most_headroom_first(self):
+        order = LeastLoadedPolicy().order("s1", views(3, headroom=[0.1, 0.9, 0.5]))
+        assert order == [1, 2, 0]
+
+    def test_index_breaks_ties(self):
+        order = LeastLoadedPolicy().order("s1", views(3))
+        assert order == [0, 1, 2]
+
+
+class TestLocalityAware:
+    def test_same_group_shares_a_home(self):
+        policy = LocalityAwarePolicy()
+        v = views(4)
+        homes = {policy.order(f"g7-s{j}", v)[0] for j in range(5)}
+        assert len(homes) == 1
+
+    def test_group_is_prefix_before_dash(self):
+        assert LocalityAwarePolicy.group_of("g3-s2") == "g3"
+        assert LocalityAwarePolicy.group_of("solo") == "solo"
+
+    def test_fallback_is_load_aware(self):
+        policy = LocalityAwarePolicy()
+        v = views(3, headroom=[0.2, 0.9, 0.4])
+        order = policy.order("g1-s1", v)
+        home = order[0]
+        rest = [i for i in (1, 2, 0) if i != home]  # headroom order minus home
+        assert order[1:] == rest
+
+    def test_empty_node_set(self):
+        assert LocalityAwarePolicy().order("s1", []) == []
+        assert ConsistentHashPolicy().order("s1", []) == []

@@ -1,0 +1,215 @@
+"""The hardened control RPC: timeouts, retries, backoff, at-most-once."""
+
+import pytest
+
+from repro.cluster.rpc import (
+    BACKOFF_BASE_US,
+    BACKOFF_CAP_US,
+    CircuitBreaker,
+    ClusterRPC,
+    ControlChannel,
+    NodeDown,
+    RPCTimeout,
+)
+from repro.faults import FaultPlane
+from repro.sim import Environment, RandomStreams
+
+
+class FakeNode:
+    """Minimal node-side executor with the real reply-cache semantics."""
+
+    def __init__(self, env, exec_us=200.0, down=False):
+        self.env = env
+        self.exec_us = exec_us
+        self.down = down
+        self.executions = 0
+        self.dup_suppressed = 0
+        self._replies = {}
+
+    def exec_control(self, op, payload, token):
+        if self.down:
+            raise NodeDown("fake")
+        cached = self._replies.get(token)
+        if cached is not None:
+            self.dup_suppressed += 1
+            return cached
+        yield self.env.timeout(self.exec_us)
+        self.executions += 1
+        reply = {"ok": True, "op": op, "n": self.executions}
+        self._replies[token] = reply
+        return reply
+
+
+def call_once(env, rpc, channel, node, token="t1"):
+    out = {}
+
+    def proc():
+        try:
+            out["reply"] = yield from rpc.call(
+                channel, node.exec_control, "admit", {}, token
+            )
+        except Exception as exc:  # noqa: BLE001 - recorded for assertions
+            out["error"] = exc
+
+    env.process(proc())
+    env.run(until=10_000_000.0)
+    return out
+
+
+class TestHappyPath:
+    def test_reply_round_trip(self):
+        env = Environment()
+        rpc = ClusterRPC(env)
+        channel = ControlChannel(env, "fd<->n0")
+        node = FakeNode(env)
+        out = call_once(env, rpc, channel, node)
+        assert out["reply"]["ok"] is True
+        assert node.executions == 1
+        assert rpc.telemetry()["retries"] == 0
+        assert rpc.telemetry()["replies"] == 1
+
+    def test_no_jitter_drawn_without_retries(self):
+        """Two identical runs, one with an RNG wired in: a fault-free call
+        must not consume randomness (identical completion time)."""
+        times = []
+        for rng in (None, RandomStreams(7)):
+            env = Environment()
+            rpc = ClusterRPC(env, rng=rng)
+            channel = ControlChannel(env, "fd<->n0")
+            node = FakeNode(env)
+            done = []
+
+            def proc():
+                yield from rpc.call(channel, node.exec_control, "a", {}, "t")
+                done.append(env.now)
+
+            env.process(proc())
+            env.run(until=1_000_000.0)
+            times.append(done[0])
+        assert times[0] == times[1]
+
+
+class TestTimeoutsAndRetries:
+    def test_total_drop_times_out_after_max_attempts(self):
+        env = Environment()
+        FaultPlane(env, seed=1).inject_rpc_drop("fd<->n0", 0.0, 1e9, rate=1.0)
+        rpc = ClusterRPC(env, max_attempts=3)
+        channel = ControlChannel(env, "fd<->n0")
+        node = FakeNode(env)
+        out = call_once(env, rpc, channel, node)
+        assert isinstance(out["error"], RPCTimeout)
+        assert node.executions == 0
+        t = rpc.telemetry()
+        assert t["attempts"] == 3
+        assert t["retries"] == 2
+        assert t["failures"] == 1
+
+    def test_drop_window_ending_mid_call_lets_the_retry_through(self):
+        env = Environment()
+        # first attempt's request is inside the window; the retry (after
+        # the 50 ms timeout + 10 ms backoff) is past its end
+        FaultPlane(env, seed=1).inject_rpc_drop("fd<->n0", 0.0, 55_000.0, rate=1.0)
+        rpc = ClusterRPC(env)
+        channel = ControlChannel(env, "fd<->n0")
+        node = FakeNode(env)
+        out = call_once(env, rpc, channel, node)
+        assert out["reply"]["ok"] is True
+        assert node.executions == 1  # executed exactly once despite the retry
+        assert rpc.telemetry()["retries"] == 1
+
+    def test_reply_leg_loss_executes_but_looks_like_timeout(self):
+        """The ambiguous case rescind exists for: the op executed, every
+        reply (and every retried request) was lost."""
+        env = Environment()
+        # window opens after the first request passes (t=0) but before its
+        # reply crosses back (t = latency 200 + exec 200 = 400)
+        FaultPlane(env, seed=1).inject_rpc_drop("fd<->n0", 300.0, 1e9, rate=1.0)
+        rpc = ClusterRPC(env, max_attempts=2)
+        channel = ControlChannel(env, "fd<->n0")
+        node = FakeNode(env)
+        out = call_once(env, rpc, channel, node)
+        assert isinstance(out["error"], RPCTimeout)
+        assert node.executions == 1
+
+    def test_node_down_burns_the_deadline(self):
+        env = Environment()
+        rpc = ClusterRPC(env, max_attempts=2)
+        channel = ControlChannel(env, "fd<->n0")
+        node = FakeNode(env, down=True)
+        out = call_once(env, rpc, channel, node)
+        assert isinstance(out["error"], RPCTimeout)
+        assert rpc.telemetry()["timeouts"] == 2
+
+    def test_backoff_is_capped_exponential(self):
+        env = Environment()
+        rpc = ClusterRPC(env)
+        assert rpc._backoff_us(0) == BACKOFF_BASE_US
+        assert rpc._backoff_us(1) == 2 * BACKOFF_BASE_US
+        assert rpc._backoff_us(10) == BACKOFF_CAP_US
+
+    def test_jitter_widens_but_never_shrinks_backoff(self):
+        env = Environment()
+        rpc = ClusterRPC(env, rng=RandomStreams(3))
+        for attempt in range(4):
+            base = min(BACKOFF_CAP_US, BACKOFF_BASE_US * 2.0 ** attempt)
+            delay = rpc._backoff_us(attempt)
+            assert base <= delay < 1.5 * base
+
+
+class TestAtMostOnce:
+    def test_duplicated_delivery_absorbed_by_reply_cache(self):
+        env = Environment()
+        FaultPlane(env, seed=1).inject_rpc_duplication("fd<->n0", 0.0, 1e9, rate=1.0)
+        rpc = ClusterRPC(env)
+        channel = ControlChannel(env, "fd<->n0")
+        node = FakeNode(env)
+        out = call_once(env, rpc, channel, node)
+        assert out["reply"]["ok"] is True
+        assert node.executions == 1
+        assert node.dup_suppressed == 1
+        assert rpc.telemetry()["dup_deliveries"] == 1
+
+    def test_retry_after_executed_reply_loss_does_not_reexecute(self):
+        """Request 1 executes, its reply is lost; request 2 (same token)
+        must hit the cache, not run the op again."""
+        env = Environment()
+        # drop exactly the first reply: window covers [300, 500) — the
+        # first request passes at t=0, its reply check happens at t=400;
+        # the retry's request (t ≈ 50 400 + backoff) is clear of it
+        FaultPlane(env, seed=1).inject_rpc_drop("fd<->n0", 300.0, 500.0, rate=1.0)
+        rpc = ClusterRPC(env)
+        channel = ControlChannel(env, "fd<->n0")
+        node = FakeNode(env)
+        out = call_once(env, rpc, channel, node)
+        assert out["reply"]["ok"] is True
+        assert node.executions == 1
+        assert node.dup_suppressed == 1  # the retry was served from cache
+
+
+class TestCircuitBreaker:
+    def test_open_close_and_idempotent_opens(self):
+        breaker = CircuitBreaker("n0")
+        assert breaker.closed
+        breaker.open()
+        breaker.open()
+        assert not breaker.closed
+        assert breaker.opens == 1
+        breaker.close()
+        assert breaker.closed
+
+
+class TestValidation:
+    def test_rate_bounds(self):
+        env = Environment()
+        plane = FaultPlane(env, seed=1)
+        with pytest.raises(ValueError):
+            plane.inject_rpc_drop("x", 0.0, 1.0, rate=0.0)
+        with pytest.raises(ValueError):
+            plane.inject_rpc_duplication("x", 0.0, 1.0, rate=1.5)
+
+    def test_rpc_constructor_bounds(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            ClusterRPC(env, timeout_us=0.0)
+        with pytest.raises(ValueError):
+            ClusterRPC(env, max_attempts=0)

@@ -1,0 +1,106 @@
+"""The cluster experiment: scenarios, determinism, CLI surface."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+from repro.experiments.cluster import (
+    cluster_stream_specs,
+    run_cluster_scenario,
+)
+
+SHORT_US = 10_000_000.0
+
+
+class TestRunner:
+    def test_unknown_scenario_names_the_valid_set(self):
+        with pytest.raises(ValueError) as err:
+            run_cluster_scenario("meteor-strike", duration_us=SHORT_US)
+        message = str(err.value)
+        assert "meteor-strike" in message
+        for name in ("baseline", "node-crash", "fd-partition", "brownout"):
+            assert name in message
+
+    def test_baseline_places_every_stream(self):
+        run = run_cluster_scenario("baseline", duration_us=SHORT_US)
+        specs = cluster_stream_specs(3)
+        census = run.plane.account()
+        # initial wave + the two late-wave streams, nothing parked or lost
+        assert census["placed"] == len(specs) + 2
+        assert census["parked"] == 0
+        assert census["lost"] == 0
+        assert run.plane.account()["unaccounted"] == 0
+        for spec in specs:
+            assert run.settled_bandwidth(spec.stream_id) > 0.0
+
+    def test_node_crash_detection_and_reaccounting(self):
+        """The acceptance bar: detection < 800 ms, zero unaccounted."""
+        run = run_cluster_scenario("node-crash", duration_us=SHORT_US)
+        meter = run.plane.meter
+        assert meter.detection_latency_us is not None
+        assert meter.detection_latency_us < 800_000.0
+        assert meter.recovered_at_us is not None
+        assert run.plane.account()["unaccounted"] == 0
+        dead = run.plane.nodes[1].name
+        assert run.plane.ledger.placed_count(dead) == 0
+        assert meter.migrated  # somebody actually moved
+
+    def test_scenarios_are_deterministic(self):
+        """Same seed ⇒ identical migration order, detection time, census."""
+        runs = [
+            run_cluster_scenario("node-crash", duration_us=SHORT_US, seed=42)
+            for _ in range(2)
+        ]
+        a, b = (r.plane for r in runs)
+        assert a.meter.detection_latency_us == b.meter.detection_latency_us
+        assert a.meter.migrated == b.meter.migrated
+        assert a.meter.parked == b.meter.parked
+        assert a.account() == b.account()
+        assert a.rpc.telemetry() == b.rpc.telemetry()
+        sids = [s.stream_id for s in cluster_stream_specs(3)]
+        assert {s: a.ledger.node_of(s) for s in sids} == {
+            s: b.ledger.node_of(s) for s in sids
+        }
+
+    def test_partition_is_classified_not_migrated(self):
+        run = run_cluster_scenario("fd-partition", duration_us=SHORT_US)
+        assert run.plane.meter.partitions >= 1
+        assert run.plane.meter.migrated == []
+        assert run.plane.account()["unaccounted"] == 0
+
+
+class TestCLI:
+    def test_cluster_listed_in_registry(self, capsys):
+        assert main(["--list"]) == 0
+        assert "cluster" in capsys.readouterr().out
+
+    def test_list_scenarios_per_experiment(self, capsys):
+        assert main(["--list", "cluster", "chaos", "failover"]) == 0
+        out = capsys.readouterr().out
+        assert "cluster:" in out
+        assert "node-crash" in out
+        assert "fd-partition" in out
+        assert "brownout" in out
+        # chaos + failover enumerate too (satellite: --list for all three)
+        assert "chaos:" in out
+        assert "failover:" in out
+
+    def test_list_non_scenario_experiment(self, capsys):
+        assert main(["--list", "table5"]) == 0
+        assert "not scenario-driven" in capsys.readouterr().out
+
+    def test_scenarios_flag_runs_the_subset(self, capsys):
+        assert main(["cluster", "--scenarios", "baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out
+        assert "node-crash: detection latency" not in out
+
+    def test_bad_scenario_name_is_a_cli_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["cluster", "--scenarios", "meteor-strike"])
+        err = capsys.readouterr().err
+        assert "meteor-strike" in err
+        assert "baseline" in err
+
+    def test_scenarios_flag_rejected_for_non_scenario_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["table5", "--scenarios", "baseline"])

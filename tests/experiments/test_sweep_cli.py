@@ -92,6 +92,10 @@ def test_job_matrices_shapes():
         "sens_costs", "sens_costs", "sens_knockouts", "sens_knockouts"
     ]
     scen = sweep.scenario_jobs()
-    assert all(j.experiment in ("chaos", "failover") for j in scen)
+    assert all(j.experiment in ("chaos", "failover", "cluster") for j in scen)
+    assert {j.experiment for j in scen} == {"chaos", "failover", "cluster"}
     assert all(len(j.config["scenarios"]) == 1 for j in scen)
     assert len({j.digest for j in scen}) == len(scen)
+    clus = sweep.cluster_jobs(nodes=[2, 3], scenarios=("baseline",))
+    assert [j.config["n_nodes"] for j in clus] == [2, 3]
+    assert all(j.experiment == "cluster" for j in clus)

@@ -133,6 +133,39 @@ class TestFlapping:
         assert card.crash_count == 1
 
 
+class TestProbeOverride:
+    """The probe factory can be replaced — how the cluster front door
+    probes a whole node over the SAN instead of one card's status port."""
+
+    def _probed_watchdog(self, env, card, alive):
+        def probe():
+            yield env.timeout(500.0)
+            return alive["value"]
+
+        return Watchdog(
+            env, card, interval_us=INTERVAL, k_missed=K, grace_us=GRACE,
+            probe=probe,
+        )
+
+    def test_probe_alive_classifies_partition_despite_dead_card(self):
+        env = Environment()
+        card = make_card(env)
+        alive = {"value": True}
+        wd = self._probed_watchdog(env, card, alive)
+        # the card itself is crashed; only the custom probe says otherwise
+        card.crash()
+        env.run(until=10 * INTERVAL)
+        assert wd.state == "partitioned"
+
+    def test_probe_dead_declares_dead_despite_healthy_card(self):
+        env = Environment()
+        card = make_card(env)
+        alive = {"value": False}
+        wd = self._probed_watchdog(env, card, alive)
+        env.run(until=10 * INTERVAL)
+        assert wd.state == "dead"
+
+
 class TestDeadlineEdge:
     def test_beat_landing_exactly_at_the_deadline_counts_as_alive(self):
         env = Environment()

@@ -181,6 +181,33 @@ class TestExecutorSideDeadline:
             assert seen_in_thread == [False], "non-main thread must not arm SIGALRM"
 
 
+class TestStrictConfig:
+    """Unknown config keys fail the job instead of silently running a
+    different cell than the job digest claims."""
+
+    def test_dotted_path_unknown_key_fails_with_accepted_names(self):
+        payload = run_job(
+            {"job": Job(experiment=OK, config={"bogus": 1}).canonical()}
+        )
+        assert payload["ok"] is False
+        assert "unknown config key(s) 'bogus'" in payload["error"]
+        assert "accepted parameters" in payload["error"]
+        assert "seed" in payload["error"]
+
+    def test_registry_unknown_key_fails_too(self):
+        payload = run_job(
+            {"job": Job(experiment="sens_costs", config={"bogus": 1}).canonical()}
+        )
+        assert payload["ok"] is False
+        assert "unknown config key(s) 'bogus'" in payload["error"]
+
+    def test_known_config_key_still_accepted(self):
+        payload = run_job(
+            {"job": Job(experiment=SLOW, config={"sleep_s": 0.01}).canonical()}
+        )
+        assert payload["ok"], payload.get("error")
+
+
 class TestCacheIntegration:
     def test_second_run_is_all_hits_with_identical_digests(self, tmp_path):
         jobs = ok_jobs(3)

@@ -112,3 +112,15 @@ class TestQueueSelection:
     def test_unknown_queue_rejected(self):
         with pytest.raises(SimulationError):
             Environment(queue="splay-tree")
+
+    def test_unknown_queue_error_names_the_valid_set(self):
+        with pytest.raises(SimulationError, match="'heap', 'calendar'"):
+            Environment(queue="splay-tree")
+
+    def test_bad_env_var_blames_the_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVENT_QUEUE", "btree")
+        with pytest.raises(SimulationError) as err:
+            Environment()
+        message = str(err.value)
+        assert "REPRO_EVENT_QUEUE" in message
+        assert "'heap', 'calendar'" in message
