@@ -42,6 +42,7 @@ from repro.core.attributes import StreamSpec
 from repro.ha.watchdog import Watchdog
 from repro.media.mpeg import MPEGFile
 from repro.metrics.perfmeter import RecoveryMeter
+from repro.obs.plane import CLUSTER_CATEGORY
 from repro.server.cluster import Cluster
 from repro.sim import Environment
 
@@ -119,8 +120,16 @@ class FrontDoor:
 
         return probe
 
+    def _breaker_transition(self, index: int, to: str, cause: str) -> None:
+        obs = self.env.obs
+        if obs is not None:
+            node = self.nodes[index].name
+            obs.count("frontdoor.breaker_transitions", node=node, to=to, cause=cause)
+            obs.instant(f"node_{cause}", track=f"{node}:health", node=node)
+
     def _node_died(self, index: int) -> None:
         self.breakers[index].open()
+        self._breaker_transition(index, "open", "dead")
         self.meter.mark_detected()
         self.failovers += 1
         self.env.process(
@@ -131,11 +140,13 @@ class FrontDoor:
         # the node still serves its streams; stop *new* placements only —
         # migrating off a healthy node would double-serve once it heals
         self.breakers[index].open()
+        self._breaker_transition(index, "open", "partitioned")
         self.meter.mark_partition()
         self.meter.mark_detected()
 
     def _node_recovered(self, index: int) -> None:
         self.breakers[index].close()
+        self._breaker_transition(index, "closed", "recovered")
 
     def healthy_views(self, exclude: frozenset[int] = frozenset()) -> list[NodeView]:
         """Nodes placement may currently consider."""
@@ -167,21 +178,62 @@ class FrontDoor:
         if the stream parked.
         """
         self.admits_requested += 1
+        # the cluster-wide correlation id: every span this stream's life
+        # produces anywhere in the cluster (admit, place, RPC, migrate,
+        # re-admit) carries it, which is what lets the Perfetto export
+        # stitch a cross-node causal track out of per-node events
+        corr = f"{spec.stream_id}#{self.admits_requested}"
         self._stream_info[spec.stream_id] = {
             "spec": spec,
             "service_time_us": service_time_us,
             "file": file,
             "inject_gap_us": inject_gap_us,
             "prebuffer_frames": prebuffer_frames,
+            "corr": corr,
         }
-        tier = yield from self._place(spec.stream_id)
+        obs = self.env.obs
+        t0 = self.env.now
+        sp = (
+            obs.begin(
+                "admit",
+                track=f"stream:{spec.stream_id}",
+                category=CLUSTER_CATEGORY,
+                corr=corr,
+            )
+            if obs is not None
+            else None
+        )
+        tier = yield from self._place(spec.stream_id, parent_span=sp)
+        if obs is not None:
+            outcome = tier if tier is not None else "parked"
+            obs.end(sp, tier=outcome)
+            obs.count(
+                "frontdoor.admissions", tier=outcome, policy=self.policy.name
+            )
+            obs.observe(
+                "frontdoor.placement_latency_us",
+                self.env.now - t0,
+                policy=self.policy.name,
+                tier=outcome,
+            )
         return tier
+
+    def _park(self, stream_id: str, reason: str, corr: str) -> None:
+        self.ledger.park(stream_id)
+        self.meter.parked.append(stream_id)
+        obs = self.env.obs
+        if obs is not None:
+            obs.count("frontdoor.parks", reason=reason)
+            obs.instant(
+                "parked", track=f"stream:{stream_id}", corr=corr, reason=reason
+            )
 
     def _place(
         self,
         stream_id: str,
         exclude: frozenset[int] = frozenset(),
         prefer: Optional[int] = None,
+        parent_span: Optional[int] = None,
     ) -> Generator[object, object, Optional[str]]:
         """Process: walk the backpressure tiers across healthy nodes.
 
@@ -192,6 +244,8 @@ class FrontDoor:
         still be draining would race the route poll.
         """
         info = self._stream_info[stream_id]
+        corr = info.get("corr", stream_id)
+        obs = self.env.obs
         burned = set(exclude)
         for tier in ("full", "degraded"):
             views = self.healthy_views(frozenset(burned))
@@ -210,45 +264,94 @@ class FrontDoor:
                     "file": info["file"],
                     "inject_gap_us": info["inject_gap_us"],
                     "prebuffer_frames": info["prebuffer_frames"],
+                    "corr": corr,
                 }
+                sp = (
+                    obs.begin(
+                        "place",
+                        track=f"stream:{stream_id}",
+                        parent=parent_span,
+                        category=CLUSTER_CATEGORY,
+                        corr=corr,
+                        node=node.name,
+                        tier=tier,
+                    )
+                    if obs is not None
+                    else None
+                )
                 try:
                     reply = yield from self.rpc.call(
                         node.channel, node.exec_control, "admit", payload, token
                     )
                 except RPCTimeout:
                     self.ambiguous_admits += 1
-                    undone = yield from self._rescind(node, token, stream_id)
+                    if obs is not None:
+                        obs.end(sp, outcome="ambiguous")
+                        obs.count(
+                            "frontdoor.place_attempts",
+                            outcome="ambiguous",
+                            node=node.name,
+                            tier=tier,
+                        )
+                    undone = yield from self._rescind(node, token, stream_id, corr)
                     if not undone:
                         # cannot prove the admit didn't land there: placing
                         # anywhere else could double-serve, so park
                         self.rescind_parks += 1
-                        self.ledger.park(stream_id)
-                        self.meter.parked.append(stream_id)
+                        self._park(stream_id, "rescind", corr)
                         return None
                     burned.add(index)
                     continue
+                outcome = "placed" if reply.get("ok") else "refused"
+                if obs is not None:
+                    obs.end(sp, outcome=outcome)
+                    obs.count(
+                        "frontdoor.place_attempts",
+                        outcome=outcome,
+                        node=node.name,
+                        tier=tier,
+                    )
                 if reply.get("ok"):
                     self.ledger.place(stream_id, node.name, tier)
                     return tier
                 # refused (no headroom / rescinded token): next candidate
-        self.ledger.park(stream_id)
-        self.meter.parked.append(stream_id)
+        self._park(stream_id, "capacity", corr)
         return None
 
     def _rescind(
-        self, node: ClusterNode, admit_token: str, stream_id: str
+        self, node: ClusterNode, admit_token: str, stream_id: str, corr: str = ""
     ) -> Generator[object, object, bool]:
         """Process: resolve an ambiguous admit on *node*. True iff the
         front door now *knows* the node does not serve the stream."""
         token = f"{admit_token}/rescind"
-        payload = {"admit_token": admit_token, "stream_id": stream_id}
+        payload = {"admit_token": admit_token, "stream_id": stream_id, "corr": corr}
+        obs = self.env.obs
+        sp = (
+            obs.begin(
+                "rescind",
+                track=f"stream:{stream_id}",
+                category=CLUSTER_CATEGORY,
+                corr=corr,
+                node=node.name,
+            )
+            if obs is not None
+            else None
+        )
         try:
             reply = yield from self.rpc.call(
                 node.channel, node.exec_control, "rescind", payload, token
             )
         except RPCTimeout:
+            if obs is not None:
+                obs.end(sp, outcome="timeout")
+                obs.count("frontdoor.rescinds", outcome="timeout", node=node.name)
             return False
-        return bool(reply.get("ok"))
+        resolved = bool(reply.get("ok"))
+        if obs is not None:
+            outcome = "resolved" if resolved else "refused"
+            obs.end(sp, outcome=outcome)
+            obs.count("frontdoor.rescinds", outcome=outcome, node=node.name)
+        return resolved
 
     # -- failover ------------------------------------------------------------
     def _failover(self, index: int) -> Generator:
@@ -260,6 +363,18 @@ class FrontDoor:
         """
         node = self.nodes[index]
         victims = self.ledger.streams_on(node.name)
+        obs = self.env.obs
+        fsp = (
+            obs.begin(
+                "failover",
+                track=f"{node.name}:health",
+                category=CLUSTER_CATEGORY,
+                node=node.name,
+                victims=len(victims),
+            )
+            if obs is not None
+            else None
+        )
 
         def urgency(stream_id: str) -> tuple[float, int]:
             spec = self._stream_info[stream_id]["spec"]
@@ -270,12 +385,33 @@ class FrontDoor:
         for stream_id in victims:
             self.ledger.displace(stream_id)
         for stream_id in victims:
-            tier = yield from self._place(stream_id, exclude=frozenset({index}))
+            corr = self._stream_info[stream_id].get("corr", stream_id)
+            msp = (
+                obs.begin(
+                    "migrate",
+                    track=f"stream:{stream_id}",
+                    parent=fsp,
+                    category=CLUSTER_CATEGORY,
+                    corr=corr,
+                    source=node.name,
+                )
+                if obs is not None
+                else None
+            )
+            tier = yield from self._place(
+                stream_id, exclude=frozenset({index}), parent_span=msp
+            )
+            if obs is not None:
+                outcome = tier if tier is not None else "parked"
+                obs.end(msp, tier=outcome)
+                obs.count("frontdoor.migrations", outcome=outcome, source=node.name)
             if tier is not None:
                 self.meter.migrated.append(stream_id)
                 if tier == "degraded":
                     self.meter.degraded.append(stream_id)
         self.meter.mark_recovered()
+        if obs is not None:
+            obs.end(fsp, migrated=len(self.meter.migrated))
 
     # -- graceful inter-node handoff ------------------------------------------
     def handoff(
@@ -291,6 +427,20 @@ class FrontDoor:
         if source_name is None:
             raise ValueError(f"stream {stream_id!r} is not placed anywhere")
         source = next(n for n in self.nodes if n.name == source_name)
+        corr = self._stream_info[stream_id].get("corr", stream_id)
+        obs = self.env.obs
+        sp = (
+            obs.begin(
+                "handoff",
+                track=f"stream:{stream_id}",
+                category=CLUSTER_CATEGORY,
+                corr=corr,
+                source=source.name,
+                target=self.nodes[target_index].name,
+            )
+            if obs is not None
+            else None
+        )
         token = f"evict:{stream_id}:{self._token_seq}"
         self._token_seq += 1
         try:
@@ -298,16 +448,23 @@ class FrontDoor:
                 source.channel,
                 source.exec_control,
                 "evict",
-                {"stream_id": stream_id},
+                {"stream_id": stream_id, "corr": corr},
                 token,
             )
         except RPCTimeout:
             # source unreachable: leave placement alone, let the watchdog
             # decide whether this is a partition or a death
+            if obs is not None:
+                obs.end(sp, outcome="source-unreachable")
+                obs.count("frontdoor.handoff_attempts", outcome="source-unreachable")
             return self.ledger.entry(stream_id).tier
         self.ledger.displace(stream_id)
         self.handoffs += 1
-        tier = yield from self._place(stream_id, prefer=target_index)
+        tier = yield from self._place(stream_id, prefer=target_index, parent_span=sp)
+        if obs is not None:
+            outcome = tier if tier is not None else "parked"
+            obs.end(sp, tier=outcome)
+            obs.count("frontdoor.handoff_attempts", outcome=outcome)
         return tier
 
     def __repr__(self) -> str:

@@ -28,6 +28,7 @@ from typing import Generator
 
 from repro.hw.ethernet import EthernetSwitch
 from repro.hw.nic import I960RDCard
+from repro.obs.plane import CLUSTER_CATEGORY
 from repro.server.cluster import Cluster
 from repro.server.failover import HAStreamingService
 from repro.sim import Environment
@@ -76,6 +77,11 @@ class ClusterNode:
         self.streams_admitted = 0
         #: queued-but-unsent frames discarded by rescind/evict teardown
         self.frames_discarded = 0
+        #: tokens whose op actually executed (committed) on this node —
+        #: the sentinel behind the at-most-once SLO: a token appearing
+        #: here twice is a double execution, which must never happen
+        self._executed: set[str] = set()
+        self.double_execs = 0
 
     # -- health --------------------------------------------------------------
     @property
@@ -113,6 +119,9 @@ class ClusterNode:
                     # the watchdog deadline must resume beating (ride-out)
                     continue
                 self.beats_sent += 1
+                obs = self.env.obs
+                if obs is not None:
+                    obs.count("node.beats_sent", node=self.name)
                 if not self.channel.lost():
                     self.env.schedule_callback(
                         self.channel.latency_us,
@@ -130,18 +139,50 @@ class ClusterNode:
         executed returns the cached reply without re-executing — the
         node-side half of at-most-once placement.
         """
+        obs = self.env.obs
         if self.crashed:
             raise NodeDown(self.name)
         cached = self._replies.get(token)
         if cached is not None:
             self.dup_suppressed += 1
+            if obs is not None:
+                obs.count("node.dup_suppressed", node=self.name, op=op)
             return cached
+        sp = None
+        if obs is not None:
+            fields = {"token": token}
+            corr = payload.get("corr")
+            if corr:
+                fields["corr"] = corr
+            sp = obs.begin(
+                f"ctl:{op}",
+                track=f"{self.name}:control",
+                category=CLUSTER_CATEGORY,
+                **fields,
+            )
         yield self.env.timeout(CONTROL_EXEC_US)
         if self.crashed:
             # died mid-decode: the op never commits
+            if obs is not None:
+                obs.end(sp, outcome="node-down")
             raise NodeDown(self.name)
+        if token in self._executed:
+            # must be unreachable (the reply cache intercepts repeats);
+            # counted rather than asserted so the SLO engine can prove it
+            self.double_execs += 1
+            if obs is not None:
+                obs.count("node.double_execs", node=self.name, op=op)
+        self._executed.add(token)
         reply = self._execute(op, payload, token)
         self._replies[token] = reply
+        if obs is not None:
+            obs.end(sp, outcome="ok" if reply.get("ok") else "refused")
+            obs.count(
+                "node.control_ops",
+                node=self.name,
+                op=op,
+                outcome="ok" if reply.get("ok") else "refused",
+            )
         return reply
 
     def _execute(self, op: str, payload: dict, token: str) -> dict:
@@ -183,6 +224,12 @@ class ClusterNode:
             prebuffer_frames=payload.get("prebuffer_frames", 0),
         )
         self.streams_admitted += 1
+        corr = payload.get("corr")
+        if corr:
+            self.service.corr_of[stream_id] = corr
+        obs = self.env.obs
+        if obs is not None:
+            obs.count("node.streams_admitted", node=self.name, tier=tier)
         return {"ok": True, "node": self.name, "tier": tier}
 
     def _rescind(self, payload: dict) -> dict:
@@ -217,9 +264,12 @@ class ClusterNode:
                 # queued frame bodies go down with the eviction — drain
                 # before teardown (remove_stream refuses a non-empty queue)
                 queue = runtime.scheduler.queues[stream_id]
+                obs = self.env.obs
                 while len(queue):
                     queue.pop(runtime.scheduler.ops)
                     self.frames_discarded += 1
+                    if obs is not None:
+                        obs.count("node.frames_discarded", node=self.name)
                 runtime.scheduler.remove_stream(stream_id)
             try:
                 runtime.admission.release(stream_id)

@@ -105,5 +105,46 @@ class ClusterPlane:
         census["unaccounted"] = census["displaced"]
         return census
 
+    def publish_metrics(self) -> None:
+        """End-of-run gauges the SLO engine evaluates (no-op when the run
+        is uninstrumented). Milestone gauges appear only when the milestone
+        was actually stamped, so an unmeasured budget reads as MISSING —
+        a failing verdict — rather than silently passing at zero."""
+        obs = self.env.obs
+        if obs is None:
+            return
+        meter = self.meter
+        obs.registry.gauge(
+            "cluster.fault_marked", 0.0 if meter.fault_at_us is None else 1.0
+        )
+        obs.registry.gauge(
+            "cluster.recovered", 0.0 if meter.recovered_at_us is None else 1.0
+        )
+        det = meter.detection_latency_us
+        if det is not None:
+            obs.registry.gauge("cluster.detection_ms", det / 1000.0)
+        mttr = meter.mttr_us
+        if mttr is not None:
+            obs.registry.gauge("cluster.mttr_ms", mttr / 1000.0)
+        for state, count in sorted(self.account().items()):
+            obs.registry.gauge("cluster.ledger", float(count), state=state)
+        obs.registry.gauge("cluster.violations", float(self.total_violations))
+        for key, value in self.rpc.telemetry().items():
+            obs.registry.gauge(f"cluster.rpc.{key}", float(value))
+        absorbed = sum(node.dup_suppressed for node in self.nodes)
+        obs.registry.gauge(
+            "cluster.rpc.dups_unabsorbed",
+            float(max(0, self.rpc.dup_deliveries - absorbed)),
+        )
+        for node in self.nodes:
+            obs.registry.gauge(
+                "cluster.node.double_execs", float(node.double_execs), node=node.name
+            )
+            obs.registry.gauge(
+                "cluster.node.placed",
+                float(self.ledger.placed_count(node.name)),
+                node=node.name,
+            )
+
     def __repr__(self) -> str:
         return f"<ClusterPlane nodes={len(self.nodes)} policy={self.policy!r}>"

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator, Optional
 
+from repro.obs.plane import CLUSTER_CATEGORY
 from repro.sim import Environment, RandomStreams
 
 __all__ = [
@@ -179,12 +180,30 @@ class ClusterRPC:
         the caller's job (the front door rescinds).
         """
         env = self.env
+        obs = env.obs
         self.calls += 1
+        sp = None
+        if obs is not None:
+            obs.count("rpc.calls", op=op, channel=channel.name)
+            fields = {"token": token}
+            corr = payload.get("corr")
+            if corr:
+                fields["corr"] = corr
+            sp = obs.begin(
+                f"rpc:{op}",
+                track=f"rpc:{channel.name}",
+                category=CLUSTER_CATEGORY,
+                **fields,
+            )
         for attempt in range(self.max_attempts):
             self.attempts += 1
+            if obs is not None:
+                obs.count("rpc.attempts", op=op, channel=channel.name)
             if channel.lost():
                 # request leg discarded: burn the full deadline
                 self.timeouts += 1
+                if obs is not None:
+                    obs.count("rpc.timeouts", op=op, channel=channel.name, leg="request")
                 yield env.timeout(self.timeout_us)
             else:
                 yield env.timeout(channel.latency_us)
@@ -193,28 +212,48 @@ class ClusterRPC:
                         # a retrying fabric delivered the request twice;
                         # the node's reply cache must absorb the extra one
                         self.dup_deliveries += 1
+                        if obs is not None:
+                            obs.count("rpc.dup_deliveries", channel=channel.name)
                         yield from handler(op, payload, token)
                     reply = yield from handler(op, payload, token)
                 except NodeDown:
                     # dead node: the request got there and died with it
                     self.timeouts += 1
+                    if obs is not None:
+                        obs.count(
+                            "rpc.timeouts", op=op, channel=channel.name, leg="node-down"
+                        )
                     yield env.timeout(max(0.0, self.timeout_us - channel.latency_us))
                 else:
                     if channel.lost():
                         # reply leg discarded: the op EXECUTED but we can't
                         # know that — the ambiguous case rescind exists for
                         self.timeouts += 1
+                        if obs is not None:
+                            obs.count(
+                                "rpc.timeouts", op=op, channel=channel.name, leg="reply"
+                            )
                         yield env.timeout(
                             max(0.0, self.timeout_us - channel.latency_us)
                         )
                     else:
                         yield env.timeout(channel.latency_us)
                         self.replies += 1
+                        if obs is not None:
+                            obs.count("rpc.replies", op=op, channel=channel.name)
+                            obs.end(sp, outcome="reply", attempts=attempt + 1)
                         return reply
             if attempt + 1 < self.max_attempts:
                 self.retries += 1
-                yield env.timeout(self._backoff_us(attempt))
+                backoff = self._backoff_us(attempt)
+                if obs is not None:
+                    obs.count("rpc.retries", op=op, channel=channel.name)
+                    obs.observe("rpc.backoff_us", backoff, op=op)
+                yield env.timeout(backoff)
         self.failures += 1
+        if obs is not None:
+            obs.count("rpc.failures", op=op, channel=channel.name)
+            obs.end(sp, outcome="timeout", attempts=self.max_attempts)
         raise RPCTimeout(
             f"{op} on {channel.name} timed out after {self.max_attempts} attempts"
         )

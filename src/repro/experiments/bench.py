@@ -50,6 +50,8 @@ import sys
 from pathlib import Path
 from typing import Optional
 
+from repro.obs.profile import PROFILE_ENV_VAR, WallClockProfiler, maybe_profile
+
 from . import golden
 
 __all__ = [
@@ -68,6 +70,9 @@ _REPO_ROOT = Path(__file__).resolve().parents[3]
 
 #: default output path for the benchmark report
 DEFAULT_OUT = _REPO_ROOT / "BENCH_sim.json"
+
+#: where the collapsed-stack flamegraph artifact lands when profiling
+DEFAULT_FLAMEGRAPH = _REPO_ROOT / "out" / "bench" / "flamegraph.folded"
 
 #: checked-in pre-optimization medians (same machine/protocol provenance)
 BASELINE_PATH = _REPO_ROOT / "benchmarks" / "wallclock_baseline.json"
@@ -239,6 +244,8 @@ def run_bench(
     out_path: Optional[Path] = None,
     jobs: int = 1,
     queue: str = "both",
+    profile: bool = False,
+    flamegraph_path: Optional[Path] = None,
 ) -> dict:
     """Run the benchmark; writes the report and returns it as a dict.
 
@@ -252,8 +259,20 @@ def run_bench(
 
     ``queue`` is ``"heap"``, ``"calendar"``, or ``"both"`` (default):
     which event-queue structure(s) to time and digest-verify.
+
+    ``profile`` (or ``REPRO_PROFILE=1``) arms the wall-clock self-profiler
+    around the in-process digest-verification pass — the full workload
+    set re-executes under the sampler while the digests are compared
+    byte-for-byte, which *is* the bit-identity proof the profiler claims.
+    Hotspots land in the report (``hotspots`` / ``profile``) and the
+    collapsed stacks in ``out/bench/flamegraph.folded``. Meaningful
+    attribution needs the serial pass, so profiling forces ``jobs=1``.
     """
     out_path = Path(out_path) if out_path is not None else DEFAULT_OUT
+    profiler = WallClockProfiler() if profile else maybe_profile()
+    if profiler.enabled and jobs > 1:
+        print("profiling: forcing --jobs 1 (worker processes are unsampled)")
+        jobs = 1
     queues = QUEUES if queue == "both" else (queue,)
     for q in queues:
         if q not in QUEUES:
@@ -274,17 +293,18 @@ def run_bench(
 
     digests: dict[str, dict[str, str]] = {}
     drifted: list[str] = []
-    for q in queues:
-        print(
-            f"verifying golden digests [{q}] ({'short' if quick else 'full'} set"
-            f"{f', {jobs} workers' if jobs > 1 else ''})..."
-        )
-        digests[q] = _verify_digests(quick, jobs=jobs, queue=q)
-        drifted.extend(
-            f"{n} [{q}]" for n, v in sorted(digests[q].items()) if v != "identical"
-        )
-        for name, verdict in sorted(digests[q].items()):
-            print(f"  {name:10s} {verdict}")
+    with profiler:
+        for q in queues:
+            print(
+                f"verifying golden digests [{q}] ({'short' if quick else 'full'} set"
+                f"{f', {jobs} workers' if jobs > 1 else ''})..."
+            )
+            digests[q] = _verify_digests(quick, jobs=jobs, queue=q)
+            drifted.extend(
+                f"{n} [{q}]" for n, v in sorted(digests[q].items()) if v != "identical"
+            )
+            for name, verdict in sorted(digests[q].items()):
+                print(f"  {name:10s} {verdict}")
 
     baseline = None
     comparable = False
@@ -325,6 +345,30 @@ def run_bench(
         "speedup_calendar": speedups.get("calendar"),
         "headline": HEADLINE,
     }
+
+    if profiler.enabled:
+        flame = (
+            Path(flamegraph_path) if flamegraph_path is not None else DEFAULT_FLAMEGRAPH
+        )
+        flame.parent.mkdir(parents=True, exist_ok=True)
+        flame.write_text(profiler.collapsed())
+        report["hotspots"] = profiler.hotspots(15)
+        report["profile"] = {
+            "samples": profiler.samples,
+            "wall_s": profiler.wall_s,
+            "interval_s": profiler.interval_s,
+            "packages": profiler.package_rollup(),
+            "flamegraph": str(flame),
+            "scope": "digest-verification pass (all workloads, in-process)",
+        }
+        if profiler.call_counts_enabled:
+            top_calls = sorted(profiler.calls.items(), key=lambda kv: (-kv[1], kv[0]))
+            report["profile"]["top_calls"] = [
+                {"function": fn, "calls": n} for fn, n in top_calls[:15]
+            ]
+        print(profiler.render_hotspots())
+        print(f"wrote {flame}")
+
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out_path}")
 
@@ -374,6 +418,13 @@ def main(argv: Optional[list[str]] = None) -> int:
         default="both",
         help="event-queue structure(s) to bench (default: both)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="arm the wall-clock self-profiler around the digest "
+        f"verification (equivalent to {PROFILE_ENV_VAR}=1); writes "
+        "hotspots into the report and a flamegraph .folded artifact",
+    )
     args = parser.parse_args(argv)
     try:
         run_bench(
@@ -382,6 +433,7 @@ def main(argv: Optional[list[str]] = None) -> int:
             out_path=args.out,
             jobs=args.jobs,
             queue=args.queue,
+            profile=args.profile,
         )
     except RuntimeError as err:
         print(f"FAIL: {err}", file=sys.stderr)

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.faults import ChaosScenario, FaultPlane, SCENARIOS, resolve_scenario
+from repro.obs import CHAOS_SLOS, MetricsRegistry, SLOReport, evaluate, render_slo_report
 from repro.sim import S
 
 from .calibration import SIM_DURATION_US
@@ -69,6 +70,22 @@ class ChaosRun:
     @property
     def injected(self) -> int:
         return self.plane.total_injected
+
+    def slo_report(self) -> SLOReport:
+        """Evaluate the chaos budgets: faults actually fired inside the
+        window, and every stream still delivers once the dust settles."""
+        reg = MetricsRegistry()
+        reg.gauge(
+            "chaos.fault_windows",
+            1.0 if self.fault_end_us > self.fault_start_us else 0.0,
+        )
+        reg.gauge("chaos.faults_injected", float(self.injected))
+        if self.ref_bps:
+            reg.gauge(
+                "chaos.min_settled_bps",
+                min(self.run.settled_bandwidth(sid) for sid in sorted(self.ref_bps)),
+            )
+        return evaluate(CHAOS_SLOS, registry=reg, title=f"chaos:{self.scenario.name}")
 
 
 def _binned_bps(run: LoadedRun, stream_id: str, start_us: float, end_us: float):
@@ -150,8 +167,10 @@ def chaos(
         title=f"Fault injection against the NI configuration (seed {seed})",
     )
     names = scenarios if scenarios is not None else list(SCENARIOS)
+    slo_reports = []
     for name in names:
         cr = run_chaos_scenario(name, duration_us=duration_us, seed=seed)
+        slo_reports.append(cr.slo_report())
         for sid in sorted(cr.ref_bps):
             result.add_row(
                 f"{name}: {sid} pre-fault bandwidth",
@@ -184,4 +203,5 @@ def chaos(
         "deterministic: identical seed => identical rows (plane draws from "
         "named substreams only while a fault window is active)"
     )
+    result.footers.append(render_slo_report(*slo_reports).rstrip("\n"))
     return result

@@ -30,6 +30,7 @@ repeats and across ``--jobs`` fan-out — which is what the CI
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -43,6 +44,17 @@ from repro.cluster import (
 from repro.core.attributes import StreamSpec
 from repro.faults import FaultPlane
 from repro.faults.scenarios import ChaosScenario, resolve_scenario
+from repro.obs import (
+    CLUSTER_CATEGORIES,
+    ObservabilityPlane,
+    SLOReport,
+    cluster_slos,
+    evaluate,
+    render_chrome_trace,
+    render_metrics_snapshot,
+    render_slo_report,
+    write_slo_report,
+)
 from repro.sim import Environment, RandomStreams
 
 from .calibration import (
@@ -59,6 +71,16 @@ __all__ = ["ClusterRun", "run_cluster_scenario", "cluster", "cluster_stream_spec
 #: fraction of the run at which the late admission wave arrives — inside
 #: every fault window, so backpressure is exercised while degraded
 LATE_WAVE_FRAC = 0.55
+
+#: where the cluster artifact set (Perfetto traces, metrics snapshots,
+#: SLO_report) lands unless the caller overrides it; digest paths pass None
+DEFAULT_OUT_DIR = os.path.join("out", "cluster")
+
+#: control-plane spans + instants only (CLUSTER_CATEGORIES filters the
+#: per-frame datapath out at the begin() predicate), so this bound holds
+#: the full-duration run with plenty of slack — the trace-complete SLO
+#: proves it stayed unevicted
+TRACE_CAPACITY = 200_000
 
 
 def cluster_stream_specs(n_nodes: int) -> list[StreamSpec]:
@@ -88,6 +110,11 @@ class ClusterRun:
     fault_plane: FaultPlane
     duration_us: float
     specs: list[StreamSpec] = field(default_factory=list)
+    #: the observability plane of an instrumented run (None when the run
+    #: was deliberately uninstrumented — the bit-identity tests compare)
+    obs: Optional[ObservabilityPlane] = None
+    #: the evaluated cluster budgets (None when uninstrumented)
+    slo: Optional[SLOReport] = None
 
     @property
     def frontdoor(self):
@@ -122,10 +149,24 @@ def run_cluster_scenario(
     seed: int = 42,
     n_nodes: int = 3,
     policy: str = "least-loaded",
+    instrument: bool = True,
 ) -> ClusterRun:
-    """Replay one node-scale chaos campaign against a full cluster."""
+    """Replay one node-scale chaos campaign against a full cluster.
+
+    ``instrument`` (the default) installs an
+    :class:`~repro.obs.ObservabilityPlane` filtered to the control-plane
+    categories before the clock starts, so the whole admit → place →
+    crash → migrate story lands on stitched trace tracks and the cluster
+    SLO set gets evaluated at end of run. Instrumentation spends no
+    simulated time: an ``instrument=False`` run is bit-identical.
+    """
     scenario = resolve_scenario(name, CLUSTER_SCENARIOS, kind="cluster")
     env = Environment()
+    obs = None
+    if instrument:
+        obs = ObservabilityPlane(
+            env, capacity=TRACE_CAPACITY, categories=CLUSTER_CATEGORIES
+        ).install()
     rng = RandomStreams(seed + 3000)
     plane = ClusterPlane(env, n_nodes=n_nodes, policy=policy, rng=rng)
     fault_plane = FaultPlane(env, seed=seed + 2000)
@@ -159,12 +200,24 @@ def run_cluster_scenario(
     env.run(until=duration_us)
     # the ledger self-check: incremental counters must equal a recount
     plane.ledger.check()
+    slo_report = None
+    if obs is not None:
+        obs.publish_queue_stats()
+        plane.publish_metrics()
+        slo_report = evaluate(
+            cluster_slos(name),
+            registry=obs.registry,
+            tracer=obs.tracer,
+            title=f"cluster:{name}",
+        )
     return ClusterRun(
         scenario=scenario,
         plane=plane,
         fault_plane=fault_plane,
         duration_us=duration_us,
         specs=specs + late,
+        obs=obs,
+        slo=slo_report,
     )
 
 
@@ -197,6 +250,7 @@ def cluster(
     scenarios: Optional[list[str]] = None,
     n_nodes: int = 3,
     policy: str = "least-loaded",
+    out_dir: Optional[str] = DEFAULT_OUT_DIR,
 ) -> ExperimentResult:
     """Run every cluster campaign and tabulate recovery + accounting."""
     result = ExperimentResult(
@@ -220,10 +274,12 @@ def cluster(
     _policy_comparison_rows(result, n_nodes)
 
     names = scenarios if scenarios is not None else list(CLUSTER_SCENARIOS)
+    runs: list[ClusterRun] = []
     for name in names:
         run = run_cluster_scenario(
             name, duration_us=duration_us, seed=seed, n_nodes=n_nodes, policy=policy
         )
+        runs.append(run)
         fd = run.frontdoor
         for spec in run.specs:
             sid = spec.stream_id
@@ -270,4 +326,32 @@ def cluster(
         "deterministic: identical seed => identical placement, detection, "
         "and accounting rows (byte-identical across --jobs fan-out)"
     )
+
+    # -- observability footers + artifact set (NOT part of the digest) -------
+    reports = [run.slo for run in runs if run.slo is not None]
+    for run in runs:
+        if run.obs is not None:
+            result.add_tracer_footer(run.scenario.name, run.obs.tracer)
+    if reports:
+        result.footers.append(render_slo_report(*reports).rstrip("\n"))
+    if out_dir is not None and runs and runs[0].obs is not None:
+        os.makedirs(out_dir, exist_ok=True)
+        written = []
+        for run in runs:
+            label = run.scenario.name
+            trace_path = os.path.join(out_dir, f"trace_{label}.json")
+            with open(trace_path, "w", encoding="utf-8") as fh:
+                fh.write(render_chrome_trace(run.obs.tracer, label=label))
+            written.append(trace_path)
+            metrics_path = os.path.join(out_dir, f"metrics_{label}.json")
+            with open(metrics_path, "w", encoding="utf-8") as fh:
+                fh.write(render_metrics_snapshot(run.obs.registry))
+            written.append(metrics_path)
+        slo_txt = os.path.join(out_dir, "SLO_report.txt")
+        with open(slo_txt, "w", encoding="utf-8") as fh:
+            fh.write(render_slo_report(*reports))
+        written.append(slo_txt)
+        written.append(write_slo_report(os.path.join(out_dir, "SLO_report.json"), *reports))
+        names_note = ", ".join(sorted(os.path.basename(p) for p in written))
+        result.footers.append(f"artifacts in {out_dir}: {names_note}")
     return result

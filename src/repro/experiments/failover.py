@@ -33,6 +33,7 @@ from typing import Optional
 
 from repro.faults import FAILOVER_SCENARIOS, ChaosScenario, FaultPlane, resolve_scenario
 from repro.hw.ethernet import EthernetSwitch
+from repro.obs import FAILOVER_SLOS, MetricsRegistry, SLOReport, evaluate, render_slo_report
 from repro.server.failover import HAStreamingService
 from repro.server.node import ServerNode
 from repro.sim import Environment
@@ -75,6 +76,41 @@ class FailoverRun:
         rec = self.service.reception(stream_id)
         return rec.mean_bandwidth_bps(
             start_frac * self.duration_us, end_frac * self.duration_us
+        )
+
+    def slo_report(self) -> SLOReport:
+        """Evaluate the failover budgets for this run.
+
+        The recovery milestones become a small metrics registry;
+        ``card_lost`` (a card still crashed at end of run) is the ground
+        truth that decides whether the detection/MTTR budgets apply — a
+        ridden-out flap skips them, a permanent crash must measure them.
+        """
+        reg = MetricsRegistry()
+        meter = self.meter
+        reg.gauge("failover.fault_marked", 0.0 if meter.fault_at_us is None else 1.0)
+        reg.gauge("failover.recovered", 0.0 if meter.recovered_at_us is None else 1.0)
+        det = meter.detection_latency_us
+        if det is not None:
+            reg.gauge("failover.detection_ms", det / 1000.0)
+        mttr = meter.mttr_us
+        if mttr is not None:
+            reg.gauge("failover.mttr_ms", mttr / 1000.0)
+        reg.gauge("failover.migrated", float(len(meter.migrated)))
+        reg.gauge("failover.partitions", float(meter.partitions))
+        reg.gauge(
+            "failover.frames_lost",
+            float(
+                self.service.frames_lost_to_crash
+                + self.service.frames_lost_in_migration
+            ),
+        )
+        card_lost = any(rt.card.crashed for rt in self.service.runtimes)
+        return evaluate(
+            FAILOVER_SLOS,
+            registry=reg,
+            values={"card_lost": 1.0 if card_lost else 0.0},
+            title=f"failover:{self.scenario.name}",
         )
 
 
@@ -132,8 +168,10 @@ def failover(
         )
 
     names = scenarios if scenarios is not None else list(FAILOVER_SCENARIOS)
+    slo_reports = []
     for name in names:
         fr = run_failover_scenario(name, duration_us=duration_us, seed=seed)
+        slo_reports.append(fr.slo_report())
         scenario = fr.scenario
         pre_end = min(scenario.start_frac, 0.4)
         for sid in sorted(fr.service._spec_of):
@@ -170,4 +208,5 @@ def failover(
         "deterministic: identical seed => identical migration order, "
         "detection time, and violation counts"
     )
+    result.footers.append(render_slo_report(*slo_reports).rstrip("\n"))
     return result

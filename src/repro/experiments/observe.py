@@ -23,7 +23,15 @@ import os
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from repro.obs import LatencyBreakdown, ObservabilityPlane, write_observe_artifacts
+from repro.obs import (
+    OBSERVE_SLOS,
+    LatencyBreakdown,
+    ObservabilityPlane,
+    evaluate,
+    render_slo_report,
+    write_observe_artifacts,
+    write_slo_report,
+)
 
 from .calibration import SIM_DURATION_US
 from .figures import LoadedRun, run_loading_experiment
@@ -130,9 +138,30 @@ def observe(
         for sid in orun.breakdown.streams():
             result.notes.append(orun.breakdown.render_critical_path(sid))
 
+    # event-queue structural gauges published only now — the digested
+    # "metric series" rows above count the registry before these land
+    for orun in observed:
+        orun.plane.publish_queue_stats()
+    slo_reports = [
+        evaluate(
+            OBSERVE_SLOS,
+            registry=orun.plane.registry,
+            tracer=orun.plane.tracer,
+            title=f"observe:{orun.kind}",
+        )
+        for orun in observed
+    ]
+
     if out_dir is not None:
         written = write_observe_artifacts(
             out_dir, [(orun.kind, orun.plane) for orun in observed]
+        )
+        slo_txt = os.path.join(out_dir, "SLO_report.txt")
+        with open(slo_txt, "w", encoding="utf-8") as fh:
+            fh.write(render_slo_report(*slo_reports))
+        written.append(slo_txt)
+        written.append(
+            write_slo_report(os.path.join(out_dir, "SLO_report.json"), *slo_reports)
         )
         names = ", ".join(sorted(os.path.basename(p) for p in written))
         result.notes.append(f"artifacts in {out_dir}: {names}")
@@ -140,4 +169,7 @@ def observe(
         "deterministic: identical seed => identical stdout and artifacts "
         "(instrumentation adds no simulated time)"
     )
+    for orun in observed:
+        result.add_tracer_footer(orun.kind, orun.plane.tracer)
+    result.footers.append(render_slo_report(*slo_reports).rstrip("\n"))
     return result

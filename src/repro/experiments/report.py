@@ -110,6 +110,13 @@ class ExperimentResult:
     rows: list[Row] = field(default_factory=list)
     series: list[Series] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    #: trailing summary lines (tracer-ring health, SLO verdicts...) printed
+    #: after the notes. Deliberately NOT part of the golden digest
+    #: (:func:`repro.experiments.golden.result_digest` skips them), so
+    #: observability summaries can grow without invalidating pinned rows —
+    #: but they ARE deterministic and land in rendered artifacts, so the CI
+    #: double-run diffs still cover them.
+    footers: list[str] = field(default_factory=list)
 
     def row(self, label: str) -> Row:
         for r in self.rows:
@@ -129,6 +136,20 @@ class ExperimentResult:
         self.rows.append(r)
         return r
 
+    def add_tracer_footer(self, label: str, tracer) -> None:
+        """One ring-health line per tracer: emitted / discarded / unbalanced.
+
+        A nonzero ``discarded`` means the ring evicted spans — coverage
+        claims built on that trace silently lie — so the line carries an
+        explicit WARNING marker the smoke jobs and readers can grep."""
+        line = (
+            f"trace ring [{label}]: emitted={tracer.emitted} "
+            f"discarded={tracer.discarded} unbalanced_ends={tracer.unbalanced_ends}"
+        )
+        if tracer.discarded:
+            line += " WARNING: ring evicted events; raise the tracer capacity"
+        self.footers.append(line)
+
     # -- serialization (exact JSON round-trip; see module docstring) ---------
     def to_dict(self) -> dict:
         return {
@@ -137,6 +158,7 @@ class ExperimentResult:
             "rows": [r.to_dict() for r in self.rows],
             "series": [s.to_dict() for s in self.series],
             "notes": list(self.notes),
+            "footers": list(self.footers),
         }
 
     @classmethod
@@ -147,6 +169,7 @@ class ExperimentResult:
             rows=[Row.from_dict(r) for r in d.get("rows", [])],
             series=[Series.from_dict(s) for s in d.get("series", [])],
             notes=list(d.get("notes", [])),
+            footers=list(d.get("footers", [])),
         )
 
     # -- rendering -----------------------------------------------------------
@@ -174,6 +197,7 @@ class ExperimentResult:
             )
         for note in self.notes:
             lines.append(f"note: {note}")
+        lines.extend(self.footers)
         return "\n".join(lines)
 
     def ascii_plot(self, series_name: str, width: int = 72, height: int = 16) -> str:

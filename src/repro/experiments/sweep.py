@@ -53,6 +53,7 @@ __all__ = [
     "DEFAULT_NODE_GRID",
     "merge_replicate",
     "merge_matrix",
+    "sweep_metrics_registry",
     "write_sweep_artifacts",
     "main",
 ]
@@ -249,6 +250,38 @@ def merge_matrix(report: SweepReport, exp_id: str, title: str) -> ExperimentResu
 # -- artifacts ---------------------------------------------------------------
 
 
+def sweep_metrics_registry(report: SweepReport):
+    """The sweep's execution telemetry as a metrics registry.
+
+    Re-expresses ``SWEEP_report.json``'s worker/cache numbers in the same
+    labeled-series snapshot format every other runner exports
+    (``render_metrics_snapshot``), so one dashboard vocabulary covers
+    simulation metrics and sweep-execution metrics alike. Counters for
+    job statuses, retries, and executor-side deadline kills; histograms
+    for per-job compute seconds and peak RSS; gauges for the wall clock,
+    worker count, speedup estimate, and cache hit/miss/eviction state.
+    """
+    from repro.obs import MetricsRegistry
+
+    reg = MetricsRegistry()
+    for o in report.outcomes:
+        reg.count("sweep.jobs", status=o.status, experiment=o.job.experiment)
+        if o.attempts > 1:
+            reg.count("sweep.retries", float(o.attempts - 1))
+        if o.error and "JobTimeout" in o.error:
+            reg.count("sweep.deadline_kills")
+        reg.observe("sweep.compute_s", o.compute_s, status=o.status)
+        if o.peak_rss_kb:
+            reg.observe("sweep.peak_rss_kb", float(o.peak_rss_kb))
+    reg.gauge("sweep.workers", float(report.workers))
+    reg.gauge("sweep.wall_s", report.wall_s)
+    reg.gauge("sweep.serial_estimate_s", report.serial_estimate_s)
+    reg.gauge("sweep.speedup_estimate", report.speedup_estimate)
+    for key, val in (report.cache_stats or {}).items():
+        reg.gauge("sweep.cache", float(val), stat=key)
+    return reg
+
+
 def write_sweep_artifacts(
     out_dir: str,
     merged: ExperimentResult,
@@ -277,6 +310,7 @@ def write_sweep_artifacts(
         "serial_estimate_s": report.serial_estimate_s,
         "speedup_estimate": report.speedup_estimate,
         "cache": report.cache_stats,
+        "metrics": sweep_metrics_registry(report).snapshot(),
         "summary": report.summary_line(),
         "jobs": [
             {

@@ -136,6 +136,12 @@ class Watchdog:
             obs = self.env.obs
             if obs is not None:
                 obs.count("watchdog.suspicions", card=self.card.name)
+                obs.instant(
+                    "watchdog_probe",
+                    track=f"card:{self.card.name}",
+                    card=self.card.name,
+                    phi=round(self.phi(), 3),
+                )
             alive = yield from self._probe()
             if not alive:
                 self.state = "dead"

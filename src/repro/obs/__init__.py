@@ -14,11 +14,38 @@ from .export import (
     render_metrics_snapshot,
     write_observe_artifacts,
 )
-from .plane import ObservabilityPlane
+from .plane import (
+    CLUSTER_CATEGORIES,
+    CLUSTER_CATEGORY,
+    ObservabilityPlane,
+)
+from .profile import WallClockProfiler, maybe_profile
 from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .slo import (
+    CHAOS_SLOS,
+    CLUSTER_DETECTION_BUDGET_MS,
+    CLUSTER_SLOS,
+    CLUSTER_VIOLATION_CEILING,
+    FAILOVER_SLOS,
+    OBSERVE_SLOS,
+    SLO,
+    SLOContext,
+    SLOReport,
+    cluster_slos,
+    evaluate,
+    metric,
+    metric_sum,
+    nonzero,
+    render_slo_report,
+    tracer_stat,
+    value,
+    write_slo_report,
+)
 
 __all__ = [
     "ObservabilityPlane",
+    "CLUSTER_CATEGORY",
+    "CLUSTER_CATEGORIES",
     "MetricsRegistry",
     "Counter",
     "Gauge",
@@ -30,4 +57,24 @@ __all__ = [
     "render_breakdown_csv",
     "render_metrics_snapshot",
     "write_observe_artifacts",
+    "SLO",
+    "SLOContext",
+    "SLOReport",
+    "evaluate",
+    "metric",
+    "metric_sum",
+    "tracer_stat",
+    "value",
+    "nonzero",
+    "render_slo_report",
+    "write_slo_report",
+    "cluster_slos",
+    "CLUSTER_SLOS",
+    "CLUSTER_DETECTION_BUDGET_MS",
+    "CLUSTER_VIOLATION_CEILING",
+    "OBSERVE_SLOS",
+    "FAILOVER_SLOS",
+    "CHAOS_SLOS",
+    "WallClockProfiler",
+    "maybe_profile",
 ]

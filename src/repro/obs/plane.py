@@ -31,10 +31,24 @@ from .registry import MetricsRegistry
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim.environment import Environment
 
-__all__ = ["ObservabilityPlane", "SPAN_CATEGORY", "EVENT_CATEGORY"]
+__all__ = [
+    "ObservabilityPlane",
+    "SPAN_CATEGORY",
+    "EVENT_CATEGORY",
+    "CLUSTER_CATEGORY",
+    "CLUSTER_CATEGORIES",
+]
 
 SPAN_CATEGORY = "span"
 EVENT_CATEGORY = "event"
+
+#: control-plane spans (admission, placement, RPC, failover, handoff) live
+#: in their own category so a cluster run can record the stitched
+#: cross-node story *without* paying for the millions of per-frame
+#: datapath spans — pass ``categories=CLUSTER_CATEGORIES`` to the plane
+#: and the datapath's ``begin()`` calls filter out in one predicate check.
+CLUSTER_CATEGORY = "cluster"
+CLUSTER_CATEGORIES = (CLUSTER_CATEGORY, EVENT_CATEGORY)
 
 
 class ObservabilityPlane:
@@ -78,13 +92,16 @@ class ObservabilityPlane:
         hop: str,
         track: Optional[str] = None,
         parent: Optional[int] = None,
+        category: str = SPAN_CATEGORY,
         **fields: Any,
     ) -> Optional[int]:
         """Open a datapath-hop span; *track* names the Perfetto lane
-        (``cpu:host0``, ``bus:pci1``, ``card:rd0``...)."""
+        (``cpu:host0``, ``bus:pci1``, ``card:rd0``...). Control-plane
+        emitters pass ``category=CLUSTER_CATEGORY`` so a filtered plane
+        keeps them while shedding the per-frame datapath spans."""
         if track is not None:
             fields["track"] = track
-        return self.tracer.begin_span(SPAN_CATEGORY, hop, parent=parent, **fields)
+        return self.tracer.begin_span(category, hop, parent=parent, **fields)
 
     def end(self, span_id: Optional[int], **fields: Any) -> None:
         self.tracer.end_span(span_id, **fields)
@@ -110,6 +127,35 @@ class ObservabilityPlane:
     # -- convenience -------------------------------------------------------------
     def span_events(self):
         return self.tracer.events(category=SPAN_CATEGORY)
+
+    def cluster_events(self):
+        """Control-plane spans (admission/placement/failover stitching)."""
+        return self.tracer.events(category=CLUSTER_CATEGORY)
+
+    def publish_queue_stats(self) -> None:
+        """Export the event queue's structural stats as gauges.
+
+        Heap runs get the pending depth; calendar runs additionally get
+        bucket geometry, occupancy, day-width resizes, and the observed
+        push-horizon statistics (``CalendarEventQueue.stats()`` /
+        ``HorizonStats``) — the numbers queue-sizing decisions are made
+        from, now visible in every metrics snapshot."""
+        queue = self.env._queue
+        if isinstance(queue, list):
+            self.registry.gauge("sim.queue.pending", float(len(queue)), structure="heap")
+            return
+        stats = queue.stats()
+        structure = stats.get("structure", type(queue).__name__)
+        for key in ("pending", "day_width_us", "occupied_days", "mean_occupancy", "resizes"):
+            if key in stats:
+                self.registry.gauge(
+                    f"sim.queue.{key}", float(stats[key]), structure=structure
+                )
+        horizon = stats.get("horizon", {})
+        for key, val in sorted(horizon.items()):
+            self.registry.gauge(
+                f"sim.queue.horizon_{key}", float(val), structure=structure
+            )
 
     def __repr__(self) -> str:
         return (

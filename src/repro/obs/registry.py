@@ -190,6 +190,19 @@ class MetricsRegistry:
             raise TypeError(f"metric {name!r} is a histogram; use get()")
         return snap
 
+    def total(self, name: str) -> Optional[float]:
+        """Sum of every series of *name* across label combinations
+        (histograms contribute their observation counts); ``None`` when
+        the name was never recorded."""
+        series = self._metrics.get(name)
+        if not series:
+            return None
+        out = 0.0
+        for m in series.values():
+            snap = m.snapshot()
+            out += float(snap["count"]) if isinstance(snap, dict) else float(snap)
+        return out
+
     def names(self) -> list[str]:
         return sorted(self._kinds)
 

@@ -142,6 +142,10 @@ class HAStreamingService(_BaseService):
         self.placement_order: list[str] = []
         self.degraded_streams: set[str] = set()
         self.parked_streams: set[str] = set()
+        #: stream id -> cluster-wide correlation id (set by a cluster
+        #: admit; empty for standalone services) — stitches the node-local
+        #: splice/park instants into the stream's front-door trace track
+        self.corr_of: dict[str, str] = {}
         self.b_frames_shed = 0
         self.frames_lost_in_migration = 0
 
@@ -217,13 +221,15 @@ class HAStreamingService(_BaseService):
         obs = self.env.obs
         if obs is not None:
             obs.count("ha.splices", card=runtime.card.name)
-            obs.instant(
-                "ha_splice",
-                track="ha:failover",
-                stream=stream_id,
-                card=runtime.card.name,
-                degraded=degraded,
-            )
+            fields = {
+                "stream": stream_id,
+                "card": runtime.card.name,
+                "degraded": degraded,
+            }
+            corr = self.corr_of.get(stream_id)
+            if corr:
+                fields["corr"] = corr
+            obs.instant("ha_splice", track="ha:failover", **fields)
         # first checkpoint on the new home
         self.mirror_of(runtime).capture(stream_id)
 
@@ -233,7 +239,11 @@ class HAStreamingService(_BaseService):
         obs = self.env.obs
         if obs is not None:
             obs.count("ha.parked")
-            obs.instant("ha_park", track="ha:failover", stream=stream_id)
+            fields = {"stream": stream_id}
+            corr = self.corr_of.get(stream_id)
+            if corr:
+                fields["corr"] = corr
+            obs.instant("ha_park", track="ha:failover", **fields)
 
     # -- stream setup --------------------------------------------------------
     def open_stream(

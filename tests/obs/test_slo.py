@@ -1,0 +1,198 @@
+"""SLO engine: selectors, verdicts, gates, rendering, JSON artifact."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    CHAOS_SLOS,
+    CLUSTER_DETECTION_BUDGET_MS,
+    FAILOVER_SLOS,
+    MetricsRegistry,
+    SLO,
+    cluster_slos,
+    evaluate,
+    metric,
+    metric_sum,
+    nonzero,
+    render_slo_report,
+    tracer_stat,
+    value,
+    write_slo_report,
+)
+from repro.obs.slo import SLOContext
+from repro.sim import Environment
+from repro.sim.trace import Tracer
+
+
+def registry_with(**gauges):
+    reg = MetricsRegistry()
+    for name, val in gauges.items():
+        reg.gauge(name.replace("__", "."), val)
+    return reg
+
+
+class TestSelectors:
+    def test_metric_selects_one_series(self):
+        reg = MetricsRegistry()
+        reg.gauge("ledger", 3.0, state="placed")
+        reg.gauge("ledger", 1.0, state="parked")
+        ctx = SLOContext(registry=reg)
+        assert metric("ledger", state="parked")(ctx) == 1.0
+        assert metric("ledger", state="lost")(ctx) is None
+
+    def test_metric_sum_spans_label_sets(self):
+        reg = MetricsRegistry()
+        reg.count("ops", 2.0, node="a")
+        reg.count("ops", 5.0, node="b")
+        ctx = SLOContext(registry=reg)
+        assert metric_sum("ops")(ctx) == 7.0
+        assert metric_sum("absent")(ctx) is None
+
+    def test_metric_histogram_compares_count(self):
+        reg = MetricsRegistry()
+        reg.observe("lat_us", 12.0)
+        reg.observe("lat_us", 90_000.0)
+        ctx = SLOContext(registry=reg)
+        assert metric("lat_us")(ctx) == 2.0
+
+    def test_tracer_stat_and_missing_tracer(self):
+        tracer = Tracer(Environment(), capacity=4)
+        for i in range(6):
+            tracer.emit("x", "event", t_us=float(i))
+        ctx = SLOContext(tracer=tracer)
+        assert tracer_stat("discarded")(ctx) == 2.0
+        assert tracer_stat("discarded")(SLOContext()) is None
+
+    def test_value_comes_from_runner_context(self):
+        ctx = SLOContext(values={"card_lost": 1.0})
+        assert value("card_lost")(ctx) == 1.0
+        assert value("absent")(ctx) is None
+
+    def test_source_strings_are_stable(self):
+        assert metric("a.b").source == "metric a.b"
+        assert metric("a.b", state="lost").source == "metric a.b{state=lost}"
+        assert metric_sum("a.b").source == "sum(metric a.b)"
+        assert tracer_stat("discarded").source == "tracer.discarded"
+        assert value("k").source == "value k"
+
+
+class TestVerdicts:
+    def test_pass_fail_missing(self):
+        reg = registry_with(**{"det": 3.0})
+        rules = [
+            SLO("inside", metric("det"), "<", 5.0),
+            SLO("outside", metric("det"), "<", 1.0),
+            SLO("unmeasured", metric("absent"), "<", 1.0),
+        ]
+        report = evaluate(rules, registry=reg, title="t")
+        assert [v.status for v in report.verdicts] == ["PASS", "FAIL", "MISSING"]
+        assert not report.ok  # both FAIL and MISSING count against ok
+        assert {v.slo.name for v in report.failed} == {"outside", "unmeasured"}
+
+    def test_missing_is_not_ok(self):
+        report = evaluate([SLO("b", metric("absent"), "<", 1.0)], title="t")
+        assert report.verdicts[0].status == "MISSING"
+        assert not report.verdicts[0].ok
+
+    def test_when_gate_skips_and_skipped_is_ok(self):
+        reg = registry_with(fault=0.0)
+        rule = SLO("budget", metric("absent"), "<", 1.0, when=nonzero(metric("fault")))
+        report = evaluate([rule], registry=reg, title="t")
+        assert report.verdicts[0].status == "SKIPPED"
+        assert report.ok
+
+    def test_when_gate_applies_on_nonzero(self):
+        reg = registry_with(fault=1.0, det=0.5)
+        rule = SLO("budget", metric("det"), "<", 1.0, when=nonzero(metric("fault")))
+        report = evaluate([rule], registry=reg, title="t")
+        assert report.verdicts[0].status == "PASS"
+
+    def test_require_returns_verdict_or_raises(self):
+        reg = registry_with(det=3.0)
+        report = evaluate(
+            [SLO("inside", metric("det"), "<", 5.0), SLO("outside", metric("det"), "<", 1.0)],
+            registry=reg,
+            title="t",
+        )
+        assert report.require("inside").measured == 3.0
+        with pytest.raises(AssertionError, match="outside"):
+            report.require("outside")
+        with pytest.raises(KeyError):
+            report.verdict("no-such-rule")
+
+    def test_unknown_op_rejected_at_declaration(self):
+        with pytest.raises(ValueError, match="unknown SLO op"):
+            SLO("bad", metric("x"), "~=", 1.0)
+
+
+class TestRendering:
+    def test_render_is_deterministic(self):
+        reg = registry_with(det=3.0)
+        rules = [SLO("inside", metric("det"), "<", 5.0, unit="ms", description="d")]
+        a = render_slo_report(evaluate(rules, registry=reg, title="t"))
+        b = render_slo_report(evaluate(rules, registry=reg, title="t"))
+        assert a == b
+        assert "== SLO_report: t ==" in a
+        assert "PASS" in a and "inside" in a
+
+    def test_summary_line_counts(self):
+        reg = registry_with(det=3.0, fault=0.0)
+        rules = [
+            SLO("p", metric("det"), "<", 5.0),
+            SLO("f", metric("det"), ">", 5.0),
+            SLO("m", metric("absent"), "<", 5.0),
+            SLO("s", metric("det"), "<", 5.0, when=nonzero(metric("fault"))),
+        ]
+        report = evaluate(rules, registry=reg, title="t")
+        assert report.summary_line() == "SLO t: 1 pass, 1 fail, 1 missing, 1 skipped"
+
+    def test_write_slo_report_json(self, tmp_path):
+        reg = registry_with(det=3.0)
+        report = evaluate([SLO("inside", metric("det"), "<", 5.0)], registry=reg, title="t")
+        path = tmp_path / "SLO_report.json"
+        write_slo_report(path, report)
+        doc = json.loads(path.read_text())
+        assert doc["ok"] is True
+        [blk] = doc["reports"]
+        assert blk["title"] == "t"
+        assert blk["verdicts"][0]["status"] == "PASS"
+        assert blk["verdicts"][0]["measured"] == 3.0
+        # byte-determinism: second write is identical
+        first = path.read_text()
+        write_slo_report(path, report)
+        assert path.read_text() == first
+
+
+class TestShippedRuleSets:
+    def test_cluster_slos_parameterize_by_scenario(self):
+        default = {s.name: s for s in cluster_slos("node-crash")}
+        brown = {s.name: s for s in cluster_slos("brownout")}
+        assert default["detection-budget"].bound == 800.0
+        assert brown["detection-budget"].bound == CLUSTER_DETECTION_BUDGET_MS["brownout"]
+        assert default["qos-violations"].bound != brown["qos-violations"].bound
+
+    def test_failover_budgets_gate_on_card_lost(self):
+        reg = MetricsRegistry()
+        reg.gauge("failover.fault_marked", 1.0)
+        reg.gauge("failover.migrated", 0.0)
+        reg.gauge("failover.partitions", 0.0)
+        reg.gauge("failover.frames_lost", 0.0)
+        # flap: fault marked but no card stayed lost -> budgets skipped
+        rode_out = evaluate(FAILOVER_SLOS, registry=reg, values={"card_lost": 0.0}, title="flap")
+        assert rode_out.verdict("detection-budget").status == "SKIPPED"
+        assert rode_out.verdict("mttr-budget").status == "SKIPPED"
+        assert rode_out.ok
+        # permanent crash with no measurement -> MISSING, i.e. failing
+        crashed = evaluate(FAILOVER_SLOS, registry=reg, values={"card_lost": 1.0}, title="crash")
+        assert crashed.verdict("detection-budget").status == "MISSING"
+        assert not crashed.ok
+
+    def test_chaos_slos_pass_on_healthy_run(self):
+        reg = MetricsRegistry()
+        reg.gauge("chaos.fault_windows", 1.0)
+        reg.gauge("chaos.faults_injected", 12.0)
+        reg.gauge("chaos.min_settled_bps", 150_000.0)
+        report = evaluate(CHAOS_SLOS, registry=reg, title="t")
+        assert report.ok
+        assert all(v.status == "PASS" for v in report.verdicts)
