@@ -28,6 +28,7 @@ from .observe import observe, run_observed
 from .report import ExperimentResult, Row, Series
 from .sensitivity import cost_sensitivity, mechanism_knockouts
 from .tables import table1, table2, table3, table4, table5
+from .transport import transport
 
 __all__ = [
     "table1",
@@ -50,6 +51,7 @@ __all__ = [
     "mechanism_knockouts",
     "chaos",
     "run_chaos_scenario",
+    "transport",
     "cluster",
     "run_cluster_scenario",
     "failover",
@@ -85,6 +87,7 @@ REGISTRY: dict[str, Callable[[], ExperimentResult]] = {
     "sens_knockouts": mechanism_knockouts,
     "chaos": chaos,
     "cluster": cluster,
+    "transport": transport,
     "failover": failover,
     "observe": observe,
 }

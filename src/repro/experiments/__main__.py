@@ -85,6 +85,13 @@ def main(argv: list[str] | None = None) -> int:
         "experiments (chaos, failover, cluster); see --list",
     )
     parser.add_argument(
+        "--transport",
+        metavar="T[,T]",
+        default=None,
+        help="media transport(s) for experiments that accept one: "
+        "udp, tcp, ttp (comma-separated for the transport comparison)",
+    )
+    parser.add_argument(
         "--plots",
         metavar="DIR",
         help="also write per-experiment text artifacts (tables + ASCII plots)",
@@ -125,6 +132,16 @@ def main(argv: list[str] | None = None) -> int:
     scenario_names = (
         [s for s in args.scenarios.split(",") if s] if args.scenarios else None
     )
+    transport_names = None
+    if args.transport is not None:
+        from repro.net.transport import resolve_transport
+
+        transport_names = [t for t in args.transport.split(",") if t]
+        try:
+            for tname in transport_names:
+                resolve_transport(tname)
+        except ValueError as exc:
+            parser.error(str(exc))
     for name in names:
         runner = REGISTRY[name]
         params = inspect.signature(runner).parameters
@@ -144,6 +161,17 @@ def main(argv: list[str] | None = None) -> int:
                 except ValueError as exc:
                     parser.error(str(exc))
             kwargs["scenarios"] = scenario_names
+        if transport_names is not None:
+            if "transports" in params:
+                kwargs["transports"] = transport_names
+            elif "transport" in params:
+                if len(transport_names) != 1:
+                    parser.error(
+                        f"experiment {name!r} takes a single --transport"
+                    )
+                kwargs["transport"] = transport_names[0]
+            else:
+                parser.error(f"experiment {name!r} does not take --transport")
         result = runner(**kwargs)
         print(result.render())
         print()

@@ -110,8 +110,13 @@ def run_chaos_scenario(
     name: str,
     duration_us: float = SIM_DURATION_US,
     seed: int = 42,
+    transport: str = "udp",
 ) -> ChaosRun:
-    """Replay one named scenario against the Figure-9 configuration."""
+    """Replay one named scenario against the Figure-9 configuration.
+
+    ``transport`` selects the media wire path; every scenario runs
+    unmodified over any of them (link loss and partitions hit the switch,
+    msg-drop/dup hit whichever stack owns the serving port's name)."""
     scenario = resolve_scenario(name, SCENARIOS, kind="chaos")
     fault_start_us, fault_end_us = scenario.fault_window_us(duration_us)
     holder: dict[str, FaultPlane] = {}
@@ -122,7 +127,12 @@ def run_chaos_scenario(
         holder["plane"] = plane
 
     run = run_loading_experiment(
-        "ni", "none", duration_us=duration_us, seed=seed, chaos=install
+        "ni",
+        "none",
+        duration_us=duration_us,
+        seed=seed,
+        chaos=install,
+        transport=transport,
     )
     plane = holder["plane"]
 
@@ -160,8 +170,14 @@ def chaos(
     duration_us: float = SIM_DURATION_US,
     seed: int = 42,
     scenarios: Optional[list[str]] = None,
+    transport: str = "udp",
 ) -> ExperimentResult:
-    """Run every named chaos scenario and tabulate the robustness scores."""
+    """Run every named chaos scenario and tabulate the robustness scores.
+
+    With a non-default ``transport`` each scenario also audits the
+    zero-leak ledger (unaccounted records must be 0) and reports the
+    transport's retransmission work; the default output stays
+    byte-identical to the historical raw-UDP run."""
     result = ExperimentResult(
         exp_id="Chaos",
         title=f"Fault injection against the NI configuration (seed {seed})",
@@ -169,7 +185,9 @@ def chaos(
     names = scenarios if scenarios is not None else list(SCENARIOS)
     slo_reports = []
     for name in names:
-        cr = run_chaos_scenario(name, duration_us=duration_us, seed=seed)
+        cr = run_chaos_scenario(
+            name, duration_us=duration_us, seed=seed, transport=transport
+        )
         slo_reports.append(cr.slo_report())
         for sid in sorted(cr.ref_bps):
             result.add_row(
@@ -192,6 +210,26 @@ def chaos(
         result.add_row(f"{name}: violations", float(cr.violations))
         result.add_row(f"{name}: drops", float(cr.dropped))
         result.add_row(f"{name}: faults injected", float(cr.injected))
+        books = cr.run.service.books
+        if books is not None:
+            result.add_row(
+                f"{name}: transport retransmissions",
+                float(books.retransmissions),
+            )
+            result.add_row(
+                f"{name}: transport records lost", float(len(books.lost_ids))
+            )
+            result.add_row(
+                f"{name}: transport duplicate deliveries",
+                float(books.duplicate_deliveries),
+            )
+            result.add_row(
+                f"{name}: transport records unaccounted",
+                float(len(books.unaccounted())),
+                note="MUST be 0: every sent record is delivered, lost, or in flight",
+            )
+    if transport != "udp":
+        result.notes.append(f"media wire path: transport={transport}")
     result.notes.append(
         f"fault windows per scenario: "
         + ", ".join(

@@ -119,6 +119,7 @@ def run_failover_scenario(
     duration_us: float = SIM_DURATION_US,
     seed: int = 42,
     n_cards: int = 2,
+    transport: str = "udp",
 ) -> FailoverRun:
     """Replay one failover campaign against the HA service."""
     scenario = resolve_scenario(name, FAILOVER_SCENARIOS, kind="failover")
@@ -127,7 +128,9 @@ def run_failover_scenario(
     # second scheduler card as the failover target.
     node = ServerNode(env, n_cpus=1, n_pci_segments=2)
     switch = EthernetSwitch(env)
-    service = HAStreamingService(env, node, switch, n_cards=n_cards)
+    service = HAStreamingService(
+        env, node, switch, n_cards=n_cards, transport=transport
+    )
     n_frames = max(64, int(duration_us / 280_000.0) + 64)
     for i, spec in enumerate(figure_stream_specs()):
         service.attach_client(f"client_{spec.stream_id}")
@@ -150,6 +153,7 @@ def failover(
     duration_us: float = SIM_DURATION_US,
     seed: int = 42,
     scenarios: Optional[list[str]] = None,
+    transport: str = "udp",
 ) -> ExperimentResult:
     """Run every failover campaign and tabulate recovery metrics."""
     result = ExperimentResult(
@@ -158,7 +162,9 @@ def failover(
     )
 
     # -- control: the single-card Figure 9 path, untouched ------------------
-    control = run_loading_experiment("ni", "none", duration_us=duration_us, seed=seed)
+    control = run_loading_experiment(
+        "ni", "none", duration_us=duration_us, seed=seed, transport=transport
+    )
     for sid in sorted(control.service.engine.scheduler.queues):
         result.add_row(
             f"control: {sid} settled bandwidth",
@@ -170,7 +176,9 @@ def failover(
     names = scenarios if scenarios is not None else list(FAILOVER_SCENARIOS)
     slo_reports = []
     for name in names:
-        fr = run_failover_scenario(name, duration_us=duration_us, seed=seed)
+        fr = run_failover_scenario(
+            name, duration_us=duration_us, seed=seed, transport=transport
+        )
         slo_reports.append(fr.slo_report())
         scenario = fr.scenario
         pre_end = min(scenario.start_frac, 0.4)
@@ -200,6 +208,22 @@ def failover(
             float(sum(p.mirror.bytes_mirrored for p in fr.service.planes)),
             unit="B",
         )
+        books = fr.service.books
+        if books is not None:
+            result.add_row(
+                f"{name}: transport retransmissions",
+                float(books.retransmissions),
+            )
+            result.add_row(
+                f"{name}: transport records lost", float(len(books.lost_ids))
+            )
+            result.add_row(
+                f"{name}: transport records unaccounted",
+                float(len(books.unaccounted())),
+                note="MUST be 0: every sent record is delivered, lost, or in flight",
+            )
+    if transport != "udp":
+        result.notes.append(f"media wire path: transport={transport}")
     result.notes.append(
         "detection budget = K·heartbeat interval + grace "
         "(card-crash detection latency must sit inside it)"

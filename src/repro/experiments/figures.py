@@ -111,6 +111,7 @@ def run_loading_experiment(
     seed: int = 0,
     frames_per_stream: Optional[int] = None,
     chaos: Optional[Callable[..., None]] = None,
+    transport: str = "udp",
 ) -> LoadedRun:
     """Build Figure 5's architecture and run one (kind, level) cell.
 
@@ -135,11 +136,13 @@ def run_loading_experiment(
     admission = AdmissionController()
     if kind == "host":
         service = HostStreamingService(
-            env, node, switch, nic_segment=0, admission=admission
+            env, node, switch, nic_segment=0, admission=admission,
+            transport=transport,
         )
     else:
         service = NIStreamingService(
-            env, node, switch, scheduler_segment=0, admission=admission
+            env, node, switch, scheduler_segment=0, admission=admission,
+            transport=transport,
         )
 
     n_frames = (

@@ -67,10 +67,19 @@ GOLDEN_IDS = (
     # digest contract behind the experiment it stores
     "sens_costs",
     "sens_knockouts",
+    "transport",
 )
 
 #: the scaled-down set the tier-1 suite recomputes on every run
-SHORT_IDS = ("figure9", "chaos", "failover", "cluster", "sens_costs", "sens_knockouts")
+SHORT_IDS = (
+    "figure9",
+    "chaos",
+    "failover",
+    "cluster",
+    "sens_costs",
+    "sens_knockouts",
+    "transport",
+)
 
 #: 10 simulated seconds: long enough for streams to settle and every
 #: chaos/failover fault window to open and clear, short enough for CI

@@ -49,6 +49,7 @@ __all__ = [
     "replicate_jobs",
     "sensitivity_jobs",
     "scenario_jobs",
+    "transport_jobs",
     "cluster_jobs",
     "DEFAULT_NODE_GRID",
     "merge_replicate",
@@ -142,6 +143,43 @@ def scenario_jobs(
             config={"scenarios": [name]},
         )
         for name in CLUSTER_SCENARIOS
+    ]
+    return jobs
+
+
+def transport_jobs(
+    transports: Optional[Sequence[str]] = None,
+    seed: int = 42,
+    duration_us: Optional[float] = None,
+) -> list[Job]:
+    """The media-transport axis: the offload-vs-host comparison per
+    transport, plus the full chaos campaign over each reliable transport
+    (the zero-leak audit under fire)."""
+    from repro.net.transport import VALID_TRANSPORTS, resolve_transport
+
+    names = (
+        [resolve_transport(t) for t in transports]
+        if transports is not None
+        else list(VALID_TRANSPORTS)
+    )
+    jobs = [
+        Job(
+            experiment="transport",
+            seed=seed,
+            duration_us=duration_us,
+            config={"transports": [name]},
+        )
+        for name in names
+    ]
+    jobs += [
+        Job(
+            experiment="chaos",
+            seed=seed,
+            duration_us=duration_us,
+            config={"transport": name},
+        )
+        for name in names
+        if name != "udp"  # the raw path's chaos cells are the scenarios mode
     ]
     return jobs
 
@@ -351,7 +389,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument(
         "mode",
         nargs="?",
-        choices=["replicate", "sensitivity", "scenarios", "cluster"],
+        choices=["replicate", "sensitivity", "scenarios", "cluster", "transport"],
         default="replicate",
         help="which matrix to sweep (default: replicate)",
     )
@@ -377,6 +415,13 @@ def main(argv: Optional[list[str]] = None) -> int:
         default=",".join(str(s) for s in DEFAULT_SCALES),
         metavar="X,Y,...",
         help="sensitivity mode: cost-constant scale grid",
+    )
+    parser.add_argument(
+        "--transports",
+        default=None,
+        metavar="T,U,...",
+        help="transport mode: media transports to compare "
+        "(default: udp,tcp,ttp)",
     )
     parser.add_argument(
         "--duration", type=float, default=None, metavar="US",
@@ -432,6 +477,16 @@ def main(argv: Optional[list[str]] = None) -> int:
             duration_us=args.duration,
         )
         title = f"cluster scale-out: nodes x scenarios (grid {args.nodes})"
+    elif args.mode == "transport":
+        try:
+            jobs = transport_jobs(
+                _csv(args.transports) if args.transports else None,
+                seed=args.seed_base,
+                duration_us=args.duration,
+            )
+        except ValueError as exc:
+            parser.error(str(exc))
+        title = "media transport matrix: offload-vs-host + chaos per transport"
     else:
         jobs = scenario_jobs(seed=args.seed_base, duration_us=args.duration)
         title = "chaos + failover + cluster campaign matrix"
@@ -454,6 +509,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         merged = merge_matrix(report, "Sweep: sensitivity", title)
     elif args.mode == "cluster":
         merged = merge_matrix(report, "Sweep: cluster", title)
+    elif args.mode == "transport":
+        merged = merge_matrix(report, "Sweep: transport", title)
     else:
         merged = merge_matrix(report, "Sweep: scenarios", title)
 

@@ -67,7 +67,13 @@ class StreamReception:
 
 
 class MPEGClient:
-    """A player that joins the switch and consumes delivered frames."""
+    """A player that joins the switch and consumes delivered frames.
+
+    With ``consume_port=False`` the raw receive loop is not started: a
+    reliable transport endpoint (:mod:`repro.net.transport`) owns the port
+    instead and hands completed records in through :meth:`deliver` — two
+    consumers on one port would steal each other's frames round-robin.
+    """
 
     def __init__(
         self,
@@ -75,24 +81,31 @@ class MPEGClient:
         name: str,
         port: EthernetPort,
         stack: StackCosts = CLIENT_STACK,
+        consume_port: bool = True,
     ) -> None:
         self.env = env
         self.name = name
         self.port = port
         self.stack = stack
         self.receptions: dict[str, StreamReception] = {}
-        self._proc = env.process(self._run(), name=f"client:{name}")
+        self._proc = (
+            env.process(self._run(), name=f"client:{name}") if consume_port else None
+        )
 
     def _run(self) -> Generator:
         while True:
             frame: NetFrame = yield self.port.receive()
             # receive-side protocol processing before the frame is usable
             yield self.env.timeout(self.stack.cost_us(frame.payload_bytes))
-            sid = frame.stream_id or "?"
-            rec = self.receptions.get(sid)
-            if rec is None:
-                rec = self.receptions[sid] = StreamReception(sid)
-            rec.record(self.env.now, frame)
+            self.deliver(frame)
+
+    def deliver(self, frame: NetFrame) -> None:
+        """Record one usable frame (receive-side costs already paid)."""
+        sid = frame.stream_id or "?"
+        rec = self.receptions.get(sid)
+        if rec is None:
+            rec = self.receptions[sid] = StreamReception(sid)
+        rec.record(self.env.now, frame)
 
     def reception(self, stream_id: str) -> StreamReception:
         try:

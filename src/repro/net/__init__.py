@@ -3,12 +3,26 @@
 "Host-to-host communications are supported by I2O board-resident protocols
 (like TCP and UDP)": :class:`UDPStack` for the media datagrams,
 :class:`TCPStack` (go-back-N sliding window, cumulative ACKs, RTO) for
-reliable control/cluster traffic — both charging their endpoint's
-protocol-stack CPU cost per segment and both living with the switch's
-loss model.
+reliable control/cluster traffic, and :class:`TTPStack` — a TTPoE-style
+reliable L2 transport (tagged 3-way open, NACK-driven go-back-N,
+NOC-style credit flow control; see ``docs/ttp-spec.md``) — all charging
+their endpoint's protocol-stack CPU cost per packet and all living with
+the switch's loss model.
+
+:mod:`repro.net.transport` selects between them for the media wire path
+(``transport={udp,tcp,ttp}``) and keeps the zero-leak delivery ledger.
 """
 
 from .tcp import Segment, TCPConnection, TCPError, TCPStack
+from .transport import (
+    MEDIA_PORT,
+    VALID_TRANSPORTS,
+    MediaClientEndpoint,
+    MediaTransportBooks,
+    MediaWireSender,
+    resolve_transport,
+)
+from .ttp import TTP_HEADER_BYTES, TTPError, TTPLink, TTPPacket, TTPStack
 from .udp import Datagram, UDPStack
 
 __all__ = [
@@ -18,4 +32,15 @@ __all__ = [
     "TCPConnection",
     "TCPError",
     "Segment",
+    "TTPStack",
+    "TTPLink",
+    "TTPPacket",
+    "TTPError",
+    "TTP_HEADER_BYTES",
+    "MEDIA_PORT",
+    "VALID_TRANSPORTS",
+    "MediaTransportBooks",
+    "MediaWireSender",
+    "MediaClientEndpoint",
+    "resolve_transport",
 ]

@@ -123,19 +123,25 @@ class TCPConnection:
         self.segments_sent = 0
         self.segments_received = 0
         self.duplicates_dropped = 0
+        #: record ids the abort path declared undeliverable
+        self.lost_record_ids: list[int] = []
         self._established = self.env.event(name=f"tcp:{local_port}.established")
         self._closed = self.env.event(name=f"tcp:{local_port}.closed")
 
     # -- application API ---------------------------------------------------------
-    def send(self, nbytes: int, data: Any = None) -> None:
-        """Queue an application record for reliable delivery."""
+    def send(self, nbytes: int, data: Any = None, record_id: Optional[int] = None) -> None:
+        """Queue an application record for reliable delivery.
+
+        ``record_id`` lets the caller tag the record with its own globally
+        unique id (the transport-selection ledger does); by default one is
+        drawn from the module counter as before."""
         if self.state not in ("established",):
             raise TCPError(f"send on {self.state} connection")
         if nbytes <= 0:
             raise ValueError("record size must be positive")
         n_segments = max(1, -(-nbytes // self.mss))
         record = _Record(
-            record_id=next(_conn_ids),
+            record_id=record_id if record_id is not None else next(_conn_ids),
             nbytes=nbytes,
             data=data,
             first_seq=-1,  # assigned when segmented
@@ -251,6 +257,9 @@ class TCPConnection:
         """Give up after max_retries consecutive RTOs: the peer is gone."""
         self.aborted = True
         self.state = "reset"
+        lost = {rec.record_id for rec in self._pending}
+        lost.update(seg.record_id for seg in self._segments.values())
+        self.lost_record_ids.extend(sorted(lost))
         self._trace("abort", retries=self._consecutive_rtos)
         self._segments.clear()
         self._pending.clear()

@@ -105,10 +105,11 @@ class HAStreamingService(_BaseService):
         utilization_bound: float = 0.85,
         heartbeat_interval_us: float = HA_HEARTBEAT_INTERVAL_US,
         k_missed: int = 3,
+        transport: str = "udp",
     ) -> None:
         if n_cards < 2:
             raise ValueError("an HA service needs at least two scheduler cards")
-        super().__init__(env, switch, admission=None)
+        super().__init__(env, switch, admission=None, transport=transport)
         self.node = node
         self.meter = RecoveryMeter(env)
         self.coordinator = FailoverCoordinator(env, self, self.meter)
@@ -123,6 +124,8 @@ class HAStreamingService(_BaseService):
                 costs=costs,
                 admission=AdmissionController(utilization_bound=utilization_bound),
                 dest_of_stream=self._dest_of_stream,
+                transport=transport,
+                books=self.books,
             )
             plane = _CardPlane(env, runtime, heartbeat_interval_us, k_missed)
             plane.watchdog.on_dead.append(

@@ -35,6 +35,12 @@ from repro.hw.nic import I960RDCard, Intel82557NIC
 from repro.media.frames import FrameDescriptor, MediaFrame
 from repro.media.mpeg import MPEGFile
 from repro.media.player import MPEGClient
+from repro.net.transport import (
+    MediaClientEndpoint,
+    MediaTransportBooks,
+    MediaWireSender,
+    resolve_transport,
+)
 from repro.rtos.task import Task
 from repro.rtos.vxworks import WindScheduler
 from repro.sim import Environment, Store
@@ -67,20 +73,34 @@ HOST_DWCS_COSTS = DWCSCostModel(
 
 
 class _BaseService:
-    """Shared stream/client bookkeeping."""
+    """Shared stream/client bookkeeping.
+
+    ``transport`` selects the media wire path: ``"udp"`` (the default)
+    keeps the historical raw-frame path byte-for-byte — no transport
+    object is constructed at all — while ``"tcp"``/``"ttp"`` ride the
+    reliable stacks of :mod:`repro.net` between each serving port and
+    each client, with the shared zero-leak ledger in :attr:`books`.
+    """
 
     def __init__(
         self,
         env: Environment,
         switch: EthernetSwitch,
         admission: Optional[AdmissionController] = None,
+        transport: str = "udp",
     ) -> None:
         self.env = env
         self.switch = switch
         #: optional admission ledger; when present, open_stream can enforce
         #: the utilization bound and failures shed/re-admit through it
         self.admission = admission
+        self.transport = resolve_transport(transport)
+        #: the zero-leak delivery ledger (None on the raw UDP path)
+        self.books: Optional[MediaTransportBooks] = (
+            MediaTransportBooks() if self.transport != "udp" else None
+        )
         self.clients: dict[str, MPEGClient] = {}
+        self._client_endpoints: dict[str, MediaClientEndpoint] = {}
         self._dest_of_stream: dict[str, str] = {}
         self.engine: StreamingEngine  # set by subclass
         #: disk media errors survived by producers (retry succeeded or the
@@ -92,9 +112,23 @@ class _BaseService:
         """Create an MPEG client machine on the switch."""
         port = EthernetPort(self.env, name)
         self.switch.attach(port)
-        client = MPEGClient(self.env, name, port)
+        if self.transport == "udp":
+            client = MPEGClient(self.env, name, port)
+        else:
+            # the transport endpoint owns the port; completed records are
+            # handed to the player through client.deliver()
+            client = MPEGClient(self.env, name, port, consume_port=False)
+            self._client_endpoints[name] = MediaClientEndpoint(
+                self.env, client, self.transport, books=self.books
+            )
         self.clients[name] = client
         return client
+
+    def transport_unaccounted(self) -> set:
+        """Record ids the transport ledger cannot place (must be empty)."""
+        if self.books is None:
+            return set()
+        return self.books.unaccounted()
 
     def open_stream(
         self,
@@ -201,6 +235,8 @@ class SchedulerCardRuntime:
         enable_cache: bool = True,
         admission: Optional[AdmissionController] = None,
         dest_of_stream: Optional[dict[str, str]] = None,
+        transport: str = "udp",
+        books: Optional[MediaTransportBooks] = None,
     ) -> None:
         self.env = env
         self.node = node
@@ -239,6 +275,19 @@ class SchedulerCardRuntime:
         #: stream -> client-port routing; shared with the owning service so
         #: migrated streams keep their destination
         self._dest_of_stream = dest_of_stream if dest_of_stream is not None else {}
+        #: reliable media wire path (None on the historical raw UDP path,
+        #: which must stay bit-identical — nothing is constructed for it)
+        self.transport = resolve_transport(transport)
+        self.wire: Optional[MediaWireSender] = None
+        if self.transport != "udp":
+            self.wire = MediaWireSender(
+                env,
+                self.card.eth_ports[0],
+                self.transport,
+                self.card.stack,
+                books,
+                name=self.card.name,
+            )
 
     # -- failure handling -----------------------------------------------------
     def _on_card_crash(self) -> None:
@@ -318,14 +367,20 @@ class SchedulerCardRuntime:
             if obs is not None:
                 obs.end(sp)
             dest = self._dest_of_stream[desc.stream_id]
-            frame = NetFrame(
-                payload_bytes=desc.size_bytes,
-                stream_id=desc.stream_id,
-                seqno=desc.frame.seqno,
-                meta=desc.frame,
-            )
-            yield from port.send(frame, dest)
-            # frame body leaves card memory once it is on the wire
+            if self.wire is None:
+                frame = NetFrame(
+                    payload_bytes=desc.size_bytes,
+                    stream_id=desc.stream_id,
+                    seqno=desc.frame.seqno,
+                    meta=desc.frame,
+                )
+                yield from port.send(frame, dest)
+            else:
+                # reliable transport: the frame becomes one application
+                # record; the stack's own sender paces the wire from here
+                yield from self.wire.send_media(desc, dest)
+            # frame body leaves card memory once it is on the wire (or in
+            # the transport's retransmit custody)
             alloc = self._frame_allocs.pop(id(desc.frame), None)
             if alloc is not None:
                 alloc.free()
@@ -344,8 +399,9 @@ class NIStreamingService(_BaseService):
         costs: Optional[DWCSCostModel] = None,
         enable_cache: bool = True,
         admission: Optional[AdmissionController] = None,
+        transport: str = "udp",
     ) -> None:
-        super().__init__(env, switch, admission=admission)
+        super().__init__(env, switch, admission=admission, transport=transport)
         self.node = node
         self.runtime = SchedulerCardRuntime(
             env,
@@ -357,6 +413,8 @@ class NIStreamingService(_BaseService):
             enable_cache=enable_cache,
             admission=admission,
             dest_of_stream=self._dest_of_stream,
+            transport=transport,
+            books=self.books,
         )
         # the runtime's parts under their historical names
         self.card = self.runtime.card
@@ -426,11 +484,22 @@ class HostStreamingService(_BaseService):
         bind_cpu: Optional[int] = None,
         priority: int = 120,
         admission: Optional[AdmissionController] = None,
+        transport: str = "udp",
     ) -> None:
-        super().__init__(env, switch, admission=admission)
+        super().__init__(env, switch, admission=admission, transport=transport)
         self.node = node
         self.nic = node.add_82557_nic(segment=nic_segment)
         switch.attach(self.nic.eth_port)
+        self.wire: Optional[MediaWireSender] = None
+        if self.transport != "udp":
+            self.wire = MediaWireSender(
+                env,
+                self.nic.eth_port,
+                self.transport,
+                node.host_stack,
+                self.books,
+                name=node.name,
+            )
         self.scheduler = DWCSScheduler(
             ctx=ctx if ctx is not None else FixedPointContext(),
             costs=costs if costs is not None else HOST_DWCS_COSTS,
@@ -485,13 +554,16 @@ class HostStreamingService(_BaseService):
             if obs is not None:
                 obs.end(sp)
             dest = self._dest_of_stream[desc.stream_id]
-            frame = NetFrame(
-                payload_bytes=desc.size_bytes,
-                stream_id=desc.stream_id,
-                seqno=desc.frame.seqno,
-                meta=desc.frame,
-            )
-            yield from port.send(frame, dest)
+            if self.wire is None:
+                frame = NetFrame(
+                    payload_bytes=desc.size_bytes,
+                    stream_id=desc.stream_id,
+                    seqno=desc.frame.seqno,
+                    meta=desc.frame,
+                )
+                yield from port.send(frame, dest)
+            else:
+                yield from self.wire.send_media(desc, dest)
 
     def start_producer(
         self,

@@ -38,3 +38,26 @@ def test_plots_include_ascii_series(tmp_path, capsys):
     text = (tmp_path / "figure6.txt").read_text()
     assert "util:none" in text
     assert "*" in text  # a plotted point
+
+
+class TestTransportFlag:
+    def test_list_includes_transport(self, capsys):
+        assert main(["--list"]) == 0
+        assert "transport" in capsys.readouterr().out
+
+    def test_unknown_transport_names_valid_set(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["transport", "--transport", "quic"])
+        err = capsys.readouterr().err
+        assert "unknown transport 'quic'" in err
+        assert "valid transports: tcp, ttp, udp" in err
+
+    def test_multi_transport_rejected_for_single_transport_experiment(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--transport", "udp,ttp"])
+        assert "takes a single --transport" in capsys.readouterr().err
+
+    def test_transport_flag_rejected_where_unsupported(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table5", "--transport", "ttp"])
+        assert "does not take --transport" in capsys.readouterr().err

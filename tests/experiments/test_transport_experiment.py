@@ -1,0 +1,89 @@
+"""The transport comparison experiment: determinism, rows, registry."""
+
+import pytest
+
+from repro.experiments import REGISTRY
+from repro.experiments import golden
+from repro.experiments.sweep import transport_jobs
+from repro.experiments.transport import TRANSPORT_LOAD_LEVEL, transport
+
+SHORT_US = 3_000_000.0
+
+
+@pytest.fixture(scope="module")
+def result():
+    return transport(duration_us=SHORT_US, seed=42)
+
+
+class TestRows:
+    def test_every_transport_and_kind_reports(self, result):
+        rows = {r.label for r in result.rows}
+        for tname in ("udp", "tcp", "ttp"):
+            for kind in ("host", "ni"):
+                assert f"{tname}/{kind}: frames delivered" in rows
+            assert f"{tname}: NI/host delivery ratio" in rows
+
+    def test_reliable_transports_report_ledger_rows(self, result):
+        rows = {r.label: r.measured for r in result.rows}
+        for tname in ("tcp", "ttp"):
+            for kind in ("host", "ni"):
+                assert rows[f"{tname}/{kind}: records unaccounted"] == 0.0
+                sent = rows[f"{tname}/{kind}: records sent"]
+                delivered = rows[f"{tname}/{kind}: frames delivered"]
+                assert sent == delivered  # clean network: nothing pending
+        # the raw path keeps no books
+        assert "udp/host: records sent" not in rows
+
+    def test_udp_rows_match_the_raw_path(self, result):
+        """The comparison's udp column IS the shipped path: same loading
+        cell, same seed => same delivered-frame count as a direct run."""
+        from repro.experiments.figures import run_loading_experiment
+
+        run = run_loading_experiment(
+            "ni", TRANSPORT_LOAD_LEVEL, duration_us=SHORT_US, seed=42
+        )
+        direct = float(sum(c.total_frames for c in run.service.clients.values()))
+        rows = {r.label: r.measured for r in result.rows}
+        assert rows["udp/ni: frames delivered"] == direct
+
+
+class TestDeterminism:
+    def test_double_run_digest_identical(self, result):
+        again = transport(duration_us=SHORT_US, seed=42)
+        assert golden.result_digest(result) == golden.result_digest(again)
+
+    def test_transport_subset_argument(self):
+        sub = transport(duration_us=SHORT_US, seed=42, transports=["udp"])
+        names = {r.label for r in sub.rows}
+        assert any(n.startswith("udp/") for n in names)
+        assert not any(n.startswith("tcp/") or n.startswith("ttp/") for n in names)
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError, match="valid transports"):
+            transport(duration_us=SHORT_US, seed=42, transports=["quic"])
+
+
+class TestRegistration:
+    def test_in_registry(self):
+        assert REGISTRY["transport"] is transport
+
+    def test_in_golden_id_sets(self):
+        assert "transport" in golden.GOLDEN_IDS
+        assert "transport" in golden.SHORT_IDS
+
+    def test_sweep_jobs_cover_matrix_and_chaos(self):
+        jobs = transport_jobs()
+        exps = [(j.experiment, j.config) for j in jobs]
+        assert ("transport", {"transports": ["udp"]}) in exps
+        assert ("transport", {"transports": ["ttp"]}) in exps
+        assert any(
+            e == "chaos" and c.get("transport") == "ttp" for e, c in exps
+        )
+        # the raw path's chaos column is the existing golden chaos run
+        assert not any(
+            e == "chaos" and c.get("transport") == "udp" for e, c in exps
+        )
+
+    def test_sweep_jobs_reject_unknown_transport(self):
+        with pytest.raises(ValueError, match="valid transports"):
+            transport_jobs(transports=["quic"])

@@ -1,0 +1,128 @@
+"""The pluggable media wire path: udp | tcp | ttp through the services.
+
+Covers the selection funnel, the bit-identity guarantee of the default
+path (no transport object is even constructed), delivery parity across
+transports, and the zero-leak ledger under the full chaos scenario set.
+"""
+
+import pytest
+
+from repro.experiments.chaos import run_chaos_scenario
+from repro.experiments.failover import run_failover_scenario
+from repro.experiments.figures import run_loading_experiment
+from repro.faults import FAILOVER_SCENARIOS, SCENARIOS
+from repro.net import VALID_TRANSPORTS, resolve_transport
+
+SHORT_US = 3_000_000.0
+CHAOS_US = 8_000_000.0  # every scenario's fault window opens and clears
+
+
+class TestResolveTransport:
+    def test_valid_names_pass_through(self):
+        for name in VALID_TRANSPORTS:
+            assert resolve_transport(name) == name
+
+    def test_unknown_name_lists_valid_set(self):
+        with pytest.raises(
+            ValueError, match="unknown transport 'quic'; valid transports: tcp, ttp, udp"
+        ):
+            resolve_transport("quic")
+
+    def test_service_rejects_unknown_transport(self):
+        with pytest.raises(ValueError, match="unknown transport"):
+            run_loading_experiment(
+                "ni", "none", duration_us=SHORT_US, seed=42, transport="sctp"
+            )
+
+
+class TestDefaultPathUntouched:
+    def test_udp_builds_no_transport_objects(self):
+        """The bit-identity guarantee: transport='udp' must not construct
+        books, wire senders, or client endpoints (their processes would
+        shift every event id and break the golden digests)."""
+        run = run_loading_experiment("ni", "none", duration_us=SHORT_US, seed=42)
+        svc = run.service
+        assert svc.transport == "udp"
+        assert svc.books is None
+        assert svc._client_endpoints == {}
+        assert svc.runtime.wire is None
+        assert svc.transport_unaccounted() == set()
+        for client in svc.clients.values():
+            assert client._proc is not None  # the raw receive loop runs
+
+
+class TestDeliveryParity:
+    @pytest.mark.parametrize("kind", ["ni", "host"])
+    def test_reliable_transports_deliver_the_same_frames(self, kind):
+        """On a clean network every transport delivers every frame the
+        scheduler dispatched — same count, zero ledger leak."""
+        frames = {}
+        for transport in VALID_TRANSPORTS:
+            run = run_loading_experiment(
+                kind, "none", duration_us=SHORT_US, seed=42, transport=transport
+            )
+            svc = run.service
+            frames[transport] = sum(
+                c.total_frames for c in svc.clients.values()
+            )
+            if transport != "udp":
+                books = svc.books
+                assert books is not None
+                assert len(books.sent_ids) == frames[transport]
+                assert books.sent_ids == books.delivered_ids
+                assert books.lost_ids == set()
+                assert books.duplicate_deliveries == 0
+                assert svc.transport_unaccounted() == set()
+        assert frames["tcp"] == frames["udp"]
+        assert frames["ttp"] == frames["udp"]
+
+    def test_ttp_reaches_every_client_stream(self):
+        run = run_loading_experiment(
+            "ni", "none", duration_us=SHORT_US, seed=42, transport="ttp"
+        )
+        assert run.service.clients
+        for client in run.service.clients.values():
+            assert client.total_frames > 0
+
+
+class TestChaosZeroLeak:
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    def test_every_chaos_scenario_accounts_every_record(self, scenario):
+        """The acceptance gate: the full chaos set over TTP with zero
+        undelivered-frame accounting leaks — every record id ever sent is
+        delivered, declared lost, or verifiably in flight at end of run."""
+        cr = run_chaos_scenario(
+            scenario, duration_us=CHAOS_US, seed=42, transport="ttp"
+        )
+        books = cr.run.service.books
+        assert books is not None
+        assert books.unaccounted() == set()
+        assert books.sent_ids >= books.delivered_ids
+        assert books.delivered_ids.isdisjoint(books.lost_ids)
+
+    def test_link_burst_forces_retransmissions(self):
+        cr = run_chaos_scenario(
+            "link-burst", duration_us=CHAOS_US, seed=42, transport="ttp"
+        )
+        books = cr.run.service.books
+        assert books.retransmissions > 0
+        assert books.unaccounted() == set()
+
+    def test_baseline_over_tcp_is_also_leak_free(self):
+        cr = run_chaos_scenario(
+            "baseline", duration_us=CHAOS_US, seed=42, transport="tcp"
+        )
+        books = cr.run.service.books
+        assert books.unaccounted() == set()
+        assert books.sent_ids == books.delivered_ids
+
+
+class TestFailoverZeroLeak:
+    @pytest.mark.parametrize("scenario", sorted(FAILOVER_SCENARIOS))
+    def test_failover_scenarios_account_every_record(self, scenario):
+        fr = run_failover_scenario(
+            scenario, duration_us=CHAOS_US, seed=42, transport="ttp"
+        )
+        books = fr.service.books
+        assert books is not None
+        assert books.unaccounted() == set()

@@ -215,3 +215,100 @@ class TestFaultHooks:
             plane.inject_datagram_drop("x", 0.0, 1.0, rate=0.0)
         with pytest.raises(ValueError):
             plane.inject_datagram_duplication("x", 0.0, 1.0, rate=1.5)
+
+
+@pytest.mark.parametrize("kernel", ["heap", "calendar"])
+class TestFaultWindowEdges:
+    """Fault windows racing socket lifetime, on both event-queue kernels."""
+
+    def test_drop_window_during_port_handoff(self, kernel):
+        """A drop window straddling a close+rebind: the datagram in flight
+        during the handoff dies in the stack, not on the floor of an
+        unbound port — and the rebound socket receives cleanly after."""
+        from repro.faults import FaultPlane
+
+        env = Environment(queue=kernel)
+        _sw, a, b = topology(env)
+        plane = FaultPlane(env, seed=11)
+        got = []
+        b.bind(9)
+
+        def receiver(inbox):
+            while True:
+                d = yield inbox.get()
+                got.append(d.data)
+
+        def driver():
+            yield from a.sendto(500, "hostB", 9, data="before")
+            yield env.timeout(5_000.0)
+            # handoff: the old socket goes away, a drop window opens over
+            # the gap, and the port is bound again before it closes
+            b.close(9)
+            plane.inject_datagram_drop(a.name, env.now, env.now + 10_000.0, rate=1.0)
+            yield from a.sendto(500, "hostB", 9, data="during")
+            yield env.timeout(5_000.0)
+            inbox = b.bind(9)
+            env.process(receiver(inbox))
+            yield env.timeout(10_000.0)  # window over
+            yield from a.sendto(500, "hostB", 9, data="after")
+
+        # the pre-handoff socket's consumer
+        first_inbox = b._sockets[9]
+        env.process(receiver(first_inbox))
+        env.process(driver())
+        env.run(until=1 * S)
+        assert got == ["before", "after"]
+        assert a.datagrams_dropped == 1  # "during" died inside the stack
+        assert b.no_socket_drops == 0  # never reached the unbound port
+
+    def test_duplicate_arrives_after_socket_eviction(self, kernel):
+        """A dup window sends two copies; the socket is evicted between
+        the arrivals, so copy one delivers and copy two hits no socket."""
+        from repro.faults import FaultPlane
+
+        env = Environment(queue=kernel)
+        _sw, a, b = topology(env)
+        plane = FaultPlane(env, seed=11)
+        got = []
+
+        def driver():
+            inbox = b.bind(9)
+
+            def receiver():
+                d = yield inbox.get()
+                got.append(d.data)
+                # consumed one copy: the stream is torn down right here
+                b.close(9)
+
+            env.process(receiver())
+            plane.inject_datagram_duplication(
+                a.name, env.now, env.now + 5_000.0, rate=1.0
+            )
+            yield from a.sendto(500, "hostB", 9, data="x")
+
+        env.process(driver())
+        env.run(until=1 * S)
+        assert got == ["x"]
+        assert a.datagrams_duplicated == 1
+        assert b.datagrams_received == 1
+        assert b.no_socket_drops == 1  # the late duplicate found no socket
+
+    def test_drop_window_boundary_is_half_open(self, kernel):
+        """A send that pays its stack cost past end_us is not dropped: the
+        window is evaluated at wire-handoff time, not at sendto() time."""
+        from repro.faults import FaultPlane
+
+        env = Environment(queue=kernel)
+        _sw, a, b = topology(env)
+        plane = FaultPlane(env, seed=11)
+        inbox = b.bind(9)
+        # I960 stack cost for 500B is 550 + 0.12*500 = 610us
+        plane.inject_datagram_drop(a.name, 0.0, 600.0, rate=1.0)
+
+        def sender():
+            yield from a.sendto(500, "hostB", 9, data="late")
+
+        env.process(sender())
+        env.run(until=1 * S)
+        assert a.datagrams_dropped == 0
+        assert len(inbox.items) == 1  # delivered: the window had closed
