@@ -25,6 +25,7 @@ from .figures import (
 from .extensions import admission_sweep, jitter_comparison, ni_balance, stream_scaling
 from .headline import headline, scheduling_overhead
 from .observe import observe, run_observed
+from .pdescluster import pdescluster
 from .report import ExperimentResult, Row, Series
 from .sensitivity import cost_sensitivity, mechanism_knockouts
 from .tables import table1, table2, table3, table4, table5
@@ -58,6 +59,7 @@ __all__ = [
     "run_failover_scenario",
     "observe",
     "run_observed",
+    "pdescluster",
     "run_loading_experiment",
     "LoadedRun",
     "ExperimentResult",
@@ -90,6 +92,7 @@ REGISTRY: dict[str, Callable[[], ExperimentResult]] = {
     "transport": transport,
     "failover": failover,
     "observe": observe,
+    "pdescluster": pdescluster,
 }
 
 

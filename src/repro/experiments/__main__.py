@@ -39,6 +39,34 @@ def _scenario_registry(experiment: str):
     return None
 
 
+def _partition_axis(experiment: str) -> str:
+    """Human description of an experiment's partition axis (for --list)."""
+    runner = REGISTRY[experiment]
+    if "partitions" not in inspect.signature(runner).parameters:
+        return "(not partition-capable)"
+    if experiment == "pdescluster":
+        from repro.pdes.cluster import SAN_LOOKAHEAD_US
+
+        return (
+            "event-level: front door + node partitions across the SAN seam "
+            f"(lookahead {SAN_LOOKAHEAD_US:.0f} us, windowed coordinator)"
+        )
+    from repro.pdes.plan import plans
+
+    plan = plans().get(experiment)
+    if plan is None:
+        return "single-unit (whole experiment in one worker)"
+    return plan.axis
+
+
+def _partition_capable() -> list[str]:
+    return [
+        name
+        for name, runner in REGISTRY.items()
+        if "partitions" in inspect.signature(runner).parameters
+    ]
+
+
 def _write_artifacts(result: ExperimentResult, directory: Path, name: str) -> None:
     directory.mkdir(parents=True, exist_ok=True)
     parts = [result.render()]
@@ -92,6 +120,15 @@ def main(argv: list[str] | None = None) -> int:
         "udp, tcp, ttp (comma-separated for the transport comparison)",
     )
     parser.add_argument(
+        "--partitions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="partitioned execution across N worker processes; the result "
+        "is byte-identical to the serial run (see --list for each "
+        "experiment's partition axis)",
+    )
+    parser.add_argument(
         "--plots",
         metavar="DIR",
         help="also write per-experiment text artifacts (tables + ASCII plots)",
@@ -115,10 +152,11 @@ def main(argv: list[str] | None = None) -> int:
                 registry = _scenario_registry(name)
                 if registry is None:
                     print(f"{name}: (not scenario-driven)")
-                    continue
-                print(f"{name}:")
-                for scenario in registry.values():
-                    print(f"  {scenario.name:14s} {scenario.description}")
+                else:
+                    print(f"{name}:")
+                    for scenario in registry.values():
+                        print(f"  {scenario.name:14s} {scenario.description}")
+                print(f"  partitions: {_partition_axis(name)}")
         else:
             for name in REGISTRY:
                 print(name)
@@ -129,6 +167,12 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
 
+    if args.partitions is not None and args.partitions < 1:
+        parser.error(
+            f"--partitions must be a positive worker count, got "
+            f"{args.partitions}; valid values are 1..N (or omit the flag "
+            "for the serial path)"
+        )
     scenario_names = (
         [s for s in args.scenarios.split(",") if s] if args.scenarios else None
     )
@@ -172,6 +216,13 @@ def main(argv: list[str] | None = None) -> int:
                 kwargs["transport"] = transport_names[0]
             else:
                 parser.error(f"experiment {name!r} does not take --transport")
+        if args.partitions is not None:
+            if "partitions" not in params:
+                parser.error(
+                    f"experiment {name!r} does not take --partitions; "
+                    f"partition-capable: {', '.join(_partition_capable())}"
+                )
+            kwargs["partitions"] = args.partitions
         result = runner(**kwargs)
         print(result.render())
         print()

@@ -44,6 +44,7 @@ __all__ = [
     "compute_digest",
     "load_goldens",
     "save_goldens",
+    "verify",
 ]
 
 #: every experiment the bench harness pins byte-for-byte (full duration)
@@ -68,6 +69,7 @@ GOLDEN_IDS = (
     "sens_costs",
     "sens_knockouts",
     "transport",
+    "pdescluster",
 )
 
 #: the scaled-down set the tier-1 suite recomputes on every run
@@ -79,6 +81,7 @@ SHORT_IDS = (
     "sens_costs",
     "sens_knockouts",
     "transport",
+    "pdescluster",
 )
 
 #: 10 simulated seconds: long enough for streams to settle and every
@@ -236,15 +239,86 @@ def refresh(
     return goldens
 
 
+def verify(
+    which: str = "short",
+    seed: int = 42,
+    partitions: Optional[int] = None,
+    verbose: bool = True,
+) -> list[str]:
+    """Recompute one digest set and compare against the pinned file.
+
+    Returns the ids whose digests do not match (empty list == verified).
+    ``partitions`` routes every experiment through partitioned execution
+    (:mod:`repro.pdes`): the campaign experiments fan their cells across
+    that many worker processes, ``pdescluster`` runs its event-level
+    window protocol on that many workers — and every digest must still
+    equal the serially-pinned one. That is the tentpole's byte-identity
+    proof::
+
+        PYTHONPATH=src python -m repro.experiments.golden --verify short --partitions 2
+    """
+    goldens = load_goldens()
+    if which == "short":
+        ids, duration = SHORT_IDS, SHORT_DURATION_US
+    elif which == "full":
+        ids, duration = GOLDEN_IDS, None
+    else:
+        raise ValueError("which must be 'short' or 'full'")
+    pinned = goldens.get(which, {}).get("digests", {})
+    mismatches = []
+    for name in ids:
+        overrides: dict = {"out_dir": None}
+        if partitions is not None:
+            overrides["partitions"] = partitions
+        digest = compute_digest(
+            name, seed=seed, duration_us=duration, **overrides
+        )
+        ok = digest == pinned.get(name)
+        if not ok:
+            mismatches.append(name)
+        if verbose:
+            status = "OK" if ok else f"MISMATCH (pinned {pinned.get(name)})"
+            print(f"{which}:{name} = {digest} {status}")
+    return mismatches
+
+
 if __name__ == "__main__":  # pragma: no cover - maintenance CLI
     import argparse
+    import sys
 
-    parser = argparse.ArgumentParser(description="refresh golden digests")
-    parser.add_argument("--refresh", choices=["short", "full"], required=True)
+    parser = argparse.ArgumentParser(
+        description="refresh or verify golden digests"
+    )
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--refresh", choices=["short", "full"])
+    group.add_argument(
+        "--verify", choices=["short", "full"],
+        help="recompute the set and compare against the pinned digests "
+        "(exit 1 on any mismatch)",
+    )
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
-        help="worker processes for the recomputation fan-out",
+        help="refresh: worker processes for the recomputation fan-out",
+    )
+    parser.add_argument(
+        "--partitions", type=int, default=None, metavar="N",
+        help="verify: run every experiment partitioned across N workers; "
+        "the digests must still match the serially-pinned set",
     )
     args = parser.parse_args()
-    refresh(args.refresh, seed=args.seed, jobs=args.jobs)
+    if args.partitions is not None and args.partitions < 1:
+        parser.error(
+            f"--partitions must be a positive worker count, got "
+            f"{args.partitions}; valid values are 1..N (or omit the flag "
+            "for the serial path)"
+        )
+    if args.refresh:
+        if args.partitions is not None:
+            parser.error("--partitions applies to --verify, not --refresh")
+        refresh(args.refresh, seed=args.seed, jobs=args.jobs)
+    else:
+        bad = verify(args.verify, seed=args.seed, partitions=args.partitions)
+        if bad:
+            print(f"MISMATCHED: {', '.join(bad)}", file=sys.stderr)
+            sys.exit(1)

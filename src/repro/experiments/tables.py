@@ -73,8 +73,20 @@ def _microbench_table(
     return result
 
 
-def table1() -> ExperimentResult:
+
+def _fan_out(name: str, partitions: int, **overrides):
+    """Route ``partitions=N`` to the single-unit partition plan: the whole
+    table computed in one worker process and round-tripped through the
+    canonical result serialization (see :mod:`repro.pdes.plan`)."""
+    from repro.pdes.plan import run_plan
+
+    return run_plan(name, partitions=partitions, **overrides)
+
+
+def table1(partitions: Optional[int] = None) -> ExperimentResult:
     """Scheduler microbenchmarks, data cache **disabled**."""
+    if partitions is not None:
+        return _fan_out("table1", partitions)
     return _microbench_table(
         "Table 1",
         "Scheduler Microbenchmarks (Data Cache Disabled)",
@@ -86,8 +98,10 @@ def table1() -> ExperimentResult:
     )
 
 
-def table2() -> ExperimentResult:
+def table2(partitions: Optional[int] = None) -> ExperimentResult:
     """Scheduler microbenchmarks, data cache **enabled**."""
+    if partitions is not None:
+        return _fan_out("table2", partitions)
     result = _microbench_table(
         "Table 2",
         "Scheduler Microbenchmarks (Data Cache Enabled)",
@@ -103,9 +117,11 @@ def table2() -> ExperimentResult:
     return result
 
 
-def table3() -> ExperimentResult:
+def table3(partitions: Optional[int] = None) -> ExperimentResult:
     """'Hardware queue' build: descriptors in MMIO registers, fixed point,
     data cache enabled."""
+    if partitions is not None:
+        return _fan_out("table3", partitions)
     tw, aw, two, awo = _microbench(
         FixedPointContext,
         cache_enabled=True,
@@ -127,8 +143,13 @@ def table3() -> ExperimentResult:
     return result
 
 
-def table4(transfers: int = 1000) -> ExperimentResult:
+def table4(
+    transfers: int = 1000, partitions: Optional[int] = None
+) -> ExperimentResult:
     """Critical-path benchmarks: 1000-byte frame, disk → remote client."""
+    if partitions is not None:
+        overrides = {} if transfers == 1000 else {"transfers": transfers}
+        return _fan_out("table4", partitions, **overrides)
     frame = 1000
     result = ExperimentResult(
         exp_id="Table 4", title="Critical Path Benchmarks (1000-byte frame)"
@@ -212,8 +233,10 @@ def table4(transfers: int = 1000) -> ExperimentResult:
     return result
 
 
-def table5() -> ExperimentResult:
+def table5(partitions: Optional[int] = None) -> ExperimentResult:
     """PCI card-to-card transfer primitives."""
+    if partitions is not None:
+        return _fan_out("table5", partitions)
     result = ExperimentResult(exp_id="Table 5", title="PCI Card-to-Card Transfer Benchmarks")
     env = Environment()
     seg = PCISegment(env)

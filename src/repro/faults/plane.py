@@ -86,6 +86,7 @@ class FaultPlane:
         #: injections actually fired, by kind (for reports and tests)
         self.injected: dict[str, int] = {}
         env.fault_plane = self
+        env.hooks_changed()
 
     # -- scheduling ---------------------------------------------------------
     def add_window(self, window: FaultWindow) -> FaultWindow:

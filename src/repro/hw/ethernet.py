@@ -91,6 +91,12 @@ class EthernetLink:
     def wire_time_us(self, wire_bytes: int) -> float:
         return wire_bytes * 8.0 / self.bandwidth_mbps  # Mbps == bits/µs
 
+    def min_latency_us(self) -> float:
+        """Partition-boundary declaration: a lower bound on any transmit
+        through this link (propagation alone; wire time and tx-queue wait
+        only add). Conservative lookahead for :mod:`repro.pdes.boundary`."""
+        return self.propagation_us
+
     def transmit(self, wire_bytes: int) -> Generator[Event, None, float]:
         """Process: serialize *wire_bytes* onto this link; returns latency."""
         start = self.env.now
@@ -210,6 +216,17 @@ class EthernetSwitch:
         if obs is not None:
             obs.count("switch.frames_forwarded", dest=dest)
         port.inbox.put(frame)
+
+    def min_cross_latency_us(self) -> float:
+        """Partition-boundary declaration: the minimum time a frame takes
+        to cross this switch between two attached ports.
+
+        The store-and-forward lookup latency is paid unconditionally
+        before the egress link is touched; uplink/downlink wire time,
+        propagation, and queueing only add to it. A safe conservative
+        lookahead for per-node PDES partitions coupled through this
+        switch (:mod:`repro.pdes.boundary`)."""
+        return self.latency_us
 
     @property
     def port_names(self) -> list[str]:

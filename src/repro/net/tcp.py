@@ -59,6 +59,10 @@ class Segment:
     #: total segments in the record (for reassembly bookkeeping)
     record_segments: int = 1
     data: Any = None
+    #: set by the sender loop on first wire transmission, so a window
+    #: refill pass never re-sends a segment an earlier pass already put
+    #: on the wire (retransmits go through the explicit go-back-N path)
+    sent_once: bool = False
 
 
 @dataclass
@@ -190,8 +194,8 @@ class TCPConnection:
                     seg = self._segments.get(seq)
                     if seg is None:
                         continue
-                    if not getattr(seg, "_sent_once", False):
-                        seg._sent_once = True  # type: ignore[attr-defined]
+                    if not seg.sent_once:
+                        seg.sent_once = True
                         self.segments_sent += 1
                         yield from self.stack._transmit(seg, self.peer_host)
             if not self._segments and not self._pending:
@@ -226,7 +230,7 @@ class TCPConnection:
                     return
                 outstanding = sorted(self._segments)
                 self.retransmissions += len(outstanding)
-                obs = env.obs
+                obs = self.stack._obs
                 if obs is not None:
                     obs.count(
                         "tcp.retransmissions",
@@ -268,7 +272,7 @@ class TCPConnection:
         tracer = self.stack.tracer
         if tracer is None:
             # no explicit tracer wired: ride the observability plane's
-            obs = self.env.obs
+            obs = self.stack._obs
             tracer = obs.tracer if obs is not None else None
         if tracer is not None and tracer.wants("tcp"):
             tracer.emit("tcp", name, port=self.local_port, **fields)
@@ -418,18 +422,30 @@ class TCPStack:
         self.name = name or f"tcp:{eth_port.name}"
         self._listeners: dict[int, Store] = {}
         self._connections: dict[tuple[str, int, int], TCPConnection] = {}
+        # Pre-resolved obs hook slot: one instance-attribute load per
+        # segment instead of chasing env.obs on every transmit. The plane
+        # may install after construction, so a watcher re-resolves it.
+        self._obs = env.obs
+        env.add_hook_watcher(self._resolve_hooks)
         # Stacks sharing one port share ONE demux: with two independent
         # receive loops on the same port, frames are stolen round-robin by
         # whichever loop's get is queued first, and a segment can land on a
         # stack that has no matching connection (silently eaten — the peer
         # only recovers via RTO). The first stack on the port runs the
-        # demux; it routes each segment across every registered stack.
+        # demux; it routes each segment across every registered stack. The
+        # shared list object is cached on every member, so delivery walks
+        # an instance attribute rather than getattr-ing the port per
+        # segment.
         peers = getattr(eth_port, "_tcp_stacks", None)
         if peers is None:
             peers = []
             eth_port._tcp_stacks = peers  # type: ignore[attr-defined]
             env.process(self._demux(), name=f"{self.name}.demux")
         peers.append(self)
+        self._port_stacks = peers
+
+    def _resolve_hooks(self, env: Environment) -> None:
+        self._obs = env.obs
 
     # -- endpoint API ------------------------------------------------------------
     def listen(self, port: int) -> Store:
@@ -482,7 +498,7 @@ class TCPStack:
         )
 
     def _transmit(self, seg: Segment, dest_host: str) -> Generator[Event, None, None]:
-        obs = self.env.obs
+        obs = self._obs
         sp = (
             obs.begin(
                 "stack",
@@ -517,7 +533,7 @@ class TCPStack:
     def _deliver(self, seg: Segment) -> None:
         """Route one segment to the owning stack on this port."""
         key = (seg.src_host, seg.src_port, seg.dst_port)
-        stacks = getattr(self.eth_port, "_tcp_stacks", None) or [self]
+        stacks = self._port_stacks
         owner: Optional["TCPStack"] = None
         conn: Optional[TCPConnection] = None
         for stack in stacks:

@@ -86,6 +86,10 @@ class TTPPacket:
     data: Any = None
     #: open-nack diagnostic
     reason: str = ""
+    #: set by the sender loop on first wire transmission, so a window
+    #: refill pass never re-sends a packet an earlier pass already put on
+    #: the wire (retransmits go through the explicit go-back-N path)
+    sent_once: bool = False
 
 
 @dataclass
@@ -284,8 +288,8 @@ class TTPLink:
                     pkt = self._unacked.get(seq)
                     if pkt is None:
                         continue
-                    if not getattr(pkt, "_sent_once", False):
-                        pkt._sent_once = True  # type: ignore[attr-defined]
+                    if not pkt.sent_once:
+                        pkt.sent_once = True
                         self.packets_sent += 1
                         yield from self.stack._transmit(pkt, self.peer_host)
             if not self._unacked and not self._pending:
@@ -514,7 +518,7 @@ class TTPLink:
     def _trace(self, name: str, **fields: Any) -> None:
         tracer = self.stack.tracer
         if tracer is None:
-            obs = self.env.obs
+            obs = self.stack._obs
             tracer = obs.tracer if obs is not None else None
         if tracer is not None and tracer.wants("ttp"):
             tracer.emit("ttp", name, port=self.local_port, tag=self.tag, **fields)
@@ -582,15 +586,30 @@ class TTPStack:
         self.packets_duplicated_by_fault = 0
         self.open_nacks_sent = 0
         self.open_ack_replays = 0
+        # Pre-resolved hook slots: one instance-attribute load per packet
+        # instead of chasing env.obs/env.fault_plane on every transmit.
+        # Planes may install after construction (chaos wires the fault
+        # plane once the stacks exist), so a watcher re-resolves the cache
+        # whenever one binds or unbinds.
+        self._obs = env.obs
+        self._fault_plane = env.fault_plane
+        env.add_hook_watcher(self._resolve_hooks)
         # Stacks sharing one port share ONE demux (same reasoning as the
         # TCP stack: two receive loops on one port steal frames round-robin
-        # and strand packets on the wrong stack).
+        # and strand packets on the wrong stack). The shared list object is
+        # cached on every member, so delivery walks an instance attribute
+        # rather than getattr-ing the port per packet.
         peers = getattr(eth_port, "_ttp_stacks", None)
         if peers is None:
             peers = []
             eth_port._ttp_stacks = peers  # type: ignore[attr-defined]
             env.process(self._demux(), name=f"{self.name}.demux")
         peers.append(self)
+        self._port_stacks = peers
+
+    def _resolve_hooks(self, env: Environment) -> None:
+        self._obs = env.obs
+        self._fault_plane = env.fault_plane
 
     # -- endpoint API --------------------------------------------------------
     def listen(self, port: int) -> Store:
@@ -660,12 +679,12 @@ class TTPStack:
         )
 
     def _count(self, metric: str, n: int = 1) -> None:
-        obs = self.env.obs
+        obs = self._obs
         if obs is not None:
             obs.count(metric, n, stack=self.name)
 
     def _transmit(self, pkt: TTPPacket, dest_host: str) -> Generator[Event, None, None]:
-        obs = self.env.obs
+        obs = self._obs
         sp = (
             obs.begin(
                 "stack",
@@ -683,7 +702,7 @@ class TTPStack:
         # The I2O drop/dup oracle (msg-drop/msg-dup windows keyed by the
         # stack name): a dropped packet pays its cost and vanishes before
         # the wire; the reliability machinery recovers it.
-        plane = self.env.fault_plane
+        plane = self._fault_plane
         if plane is not None and plane.message_dropped(self.name):
             self.packets_dropped_by_fault += 1
             self._count("ttp.packets_dropped_by_fault")
@@ -718,7 +737,7 @@ class TTPStack:
     def _deliver(self, pkt: TTPPacket) -> None:
         """Route one packet to the owning stack on this port."""
         key = (pkt.src_host, pkt.src_port, pkt.dst_port)
-        stacks = getattr(self.eth_port, "_ttp_stacks", None) or [self]
+        stacks = self._port_stacks
         owner: Optional["TTPStack"] = None
         link: Optional[TTPLink] = None
         for stack in stacks:

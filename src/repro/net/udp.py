@@ -60,7 +60,18 @@ class UDPStack:
         self.no_socket_drops = 0
         self.datagrams_dropped = 0
         self.datagrams_duplicated = 0
+        # Pre-resolved hook slots: one instance-attribute load per datagram
+        # instead of chasing env.obs/env.fault_plane on every send. Planes
+        # may install after construction (chaos wires the fault plane once
+        # the stacks exist), so a watcher re-resolves the cache on bind.
+        self._obs = env.obs
+        self._fault_plane = env.fault_plane
+        env.add_hook_watcher(self._resolve_hooks)
         env.process(self._demux(), name=f"{self.name}.demux")
+
+    def _resolve_hooks(self, env: Environment) -> None:
+        self._obs = env.obs
+        self._fault_plane = env.fault_plane
 
     # -- socket API ----------------------------------------------------------
     def bind(self, port: int) -> Store:
@@ -87,7 +98,7 @@ class UDPStack:
         """Process: transmit one datagram (no delivery guarantee)."""
         if payload_bytes <= 0:
             raise ValueError("payload must be positive")
-        obs = self.env.obs
+        obs = self._obs
         sp = (
             obs.begin(
                 "stack",
@@ -101,7 +112,7 @@ class UDPStack:
         yield self.env.timeout(self.stack.cost_us(payload_bytes))
         if obs is not None:
             obs.end(sp)
-        plane = self.env.fault_plane
+        plane = self._fault_plane
         if plane is not None and plane.datagram_dropped(self.name):
             self.datagrams_dropped += 1
             if obs is not None:

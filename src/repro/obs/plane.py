@@ -79,12 +79,14 @@ class ObservabilityPlane:
     def install(self) -> "ObservabilityPlane":
         """Bind into the environment's hook slot (idempotent)."""
         self.env.obs = self
+        self.env.hooks_changed()
         return self
 
     def uninstall(self) -> None:
         """Clear the hook slot (back to the uninstrumented ``None``)."""
         if self.env.obs is self:
             self.env.obs = None
+            self.env.hooks_changed()
 
     # -- spans ----------------------------------------------------------------
     def begin(

@@ -1,0 +1,104 @@
+"""Partition boundaries: the hardware seams and their lookahead.
+
+The paper's server is already a distributed machine — host CPUs and
+I960RD cards coupled only through PCI/I2O messages, nodes coupled only
+through the SAN — so the hardware model encodes, at each seam, a
+*minimum* latency any interaction must pay to cross it:
+
+* :meth:`repro.hw.pci.PCIBridge.min_cross_latency_us` — both buses'
+  per-transaction overhead (host complex ↔ NI complex);
+* :meth:`repro.hw.ethernet.EthernetSwitch.min_cross_latency_us` — the
+  store-and-forward lookup latency (anything ↔ anything through a
+  switch);
+* :meth:`repro.server.cluster.Cluster.min_cross_latency_us` — NI
+  per-packet encapsulation plus the SAN switch (node ↔ node).
+
+Those minimums are exactly the *conservative lookahead* of classic
+parallel discrete-event simulation: if partition A is synchronized with
+partition B up to time ``T``, nothing A does can affect B before
+``T + lookahead``, so B may safely simulate that far ahead. The
+coordinator (:mod:`repro.pdes.coordinator`) turns each seam's lookahead
+into synchronized time windows.
+
+A :class:`Seam` is the declaration the rest of :mod:`repro.pdes`
+consumes; :func:`describe_seams` reports the standard numbers for the
+default model parameters (what ``experiments --list`` prints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Seam",
+    "pci_seam",
+    "ethernet_seam",
+    "san_seam",
+    "describe_seams",
+]
+
+
+@dataclass(frozen=True)
+class Seam:
+    """One partition boundary: a name and its conservative lookahead."""
+
+    name: str
+    lookahead_us: float
+    description: str
+
+    def __post_init__(self) -> None:
+        if self.lookahead_us <= 0:
+            raise ValueError(
+                f"seam {self.name!r} needs a positive lookahead "
+                f"(got {self.lookahead_us!r}); a zero-lookahead boundary "
+                "cannot bound a synchronization window"
+            )
+
+
+def pci_seam(bridge) -> Seam:
+    """The host-complex ↔ NI-complex boundary of one server node."""
+    return Seam(
+        name="pci",
+        lookahead_us=bridge.min_cross_latency_us(),
+        description="host complex <-> NI complex through the PCI host bridge",
+    )
+
+
+def ethernet_seam(switch) -> Seam:
+    """A boundary through one Ethernet switch (clients, inter-card)."""
+    return Seam(
+        name="ethernet",
+        lookahead_us=switch.min_cross_latency_us(),
+        description=f"through switch {switch.name!r} (store-and-forward)",
+    )
+
+
+def san_seam(cluster) -> Seam:
+    """The node ↔ node boundary across a cluster's SAN."""
+    return Seam(
+        name="san",
+        lookahead_us=cluster.min_cross_latency_us(),
+        description="node <-> node across the SAN (NI stack + switch)",
+    )
+
+
+def describe_seams() -> list[Seam]:
+    """The three standard seams at default model parameters.
+
+    Builds throwaway default-configured models to read the declared
+    minimums off the hardware itself, so this listing can never drift
+    from the simulation.
+    """
+    from repro.hw.bus import Bus
+    from repro.hw.ethernet import EthernetSwitch
+    from repro.hw.pci import PCIBridge, PCISegment
+    from repro.server.cluster import Cluster
+    from repro.sim import Environment
+
+    env = Environment()
+    system_bus = Bus(env, "sys0", bandwidth_mb_s=528.0)
+    segment = PCISegment(env, "pci0")
+    bridge = PCIBridge(env, system_bus, segment)
+    switch = EthernetSwitch(env, "eth0")
+    cluster = Cluster(env, n_nodes=2, n_cpus_per_node=1)
+    return [pci_seam(bridge), ethernet_seam(switch), san_seam(cluster)]

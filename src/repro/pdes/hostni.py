@@ -1,0 +1,152 @@
+"""The first split: host complex vs NI complex across the PCI seam.
+
+The ROADMAP's "meaningful first PR" partition: one server node cut at
+the PCI host bridge. The host partition runs the frame-producing side
+(descriptor pushes, as the host CPU would post I2O messages); the NI
+partition runs the card side (service time per descriptor, completion
+acks back across the bridge). Cross-partition latencies are the PIO
+word costs from Table 5 — both above the bridge's declared minimum
+(:meth:`~repro.hw.pci.PCIBridge.min_cross_latency_us`), which is what
+makes the conservative windows sound.
+
+This module is deliberately small: it is the reference workload for the
+partitioned-vs-serial differential tests and the worked example in the
+docs. The cluster-scale workload lives in :mod:`repro.pdes.cluster`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hw.pci import PIO_READ_US, PIO_WRITE_US
+
+from .partition import CrossMessage, PartitionHarness, PartitionSpec
+
+__all__ = ["hostni_specs", "run_hostni", "build_host", "build_ni"]
+
+#: default PCI-seam lookahead: both buses' per-transaction overhead
+#: (matches PCIBridge.min_cross_latency_us() at default parameters)
+PCI_LOOKAHEAD_US = 1.0
+
+HOST, NI = 0, 1
+
+
+class HostHarness(PartitionHarness):
+    """The host complex: posts descriptors, collects completion acks."""
+
+    def build(self) -> None:
+        cfg = self.spec.config
+        self.n_frames = int(cfg["n_frames"])
+        self.period_us = float(cfg["period_us"])
+        self.post_latency_us = float(cfg.get("post_latency_us", PIO_WRITE_US))
+        self.acked: list[float] = []  # ack round-trip times
+        self._posted = 0
+
+        def post() -> None:
+            self._posted += 1
+            self.send(
+                NI,
+                "descriptor",
+                {"seq": self._posted, "bytes": 1000, "posted_at": self.env.now},
+                latency_us=self.post_latency_us,
+            )
+            if self._posted < self.n_frames:
+                self.env.schedule_callback(self.period_us, post, name="post")
+
+        if self.n_frames > 0:
+            self.env.schedule_callback(self.period_us, post, name="post")
+
+    def eot(self) -> float:
+        """Promise: the host only sends at its scheduled post times."""
+        if self._posted >= self.n_frames:
+            return float("inf")
+        return self.env.peek() + self.post_latency_us
+
+    def on_message(self, msg: CrossMessage) -> None:
+        self.acked.append(self.env.now - msg.payload["posted_at"])
+
+    def finish(self) -> dict:
+        return {
+            "posted": self._posted,
+            "acked": len(self.acked),
+            "rtt_sum_us": sum(self.acked),
+            "last_ack_us": self.acked[-1] if self.acked else 0.0,
+        }
+
+
+class NIHarness(PartitionHarness):
+    """The NI complex: services descriptors, acks across the bridge."""
+
+    def build(self) -> None:
+        cfg = self.spec.config
+        self.service_us = float(cfg["service_us"])
+        self.ack_latency_us = float(cfg.get("ack_latency_us", PIO_READ_US))
+        self.served = 0
+        self.busy_until = 0.0
+
+    def on_message(self, msg: CrossMessage) -> None:
+        # FIFO single-server card: service starts when the engine frees up
+        start = max(self.env.now, self.busy_until)
+        self.busy_until = start + self.service_us
+
+        def complete() -> None:
+            self.served += 1
+            self.send(
+                HOST,
+                "ack",
+                dict(msg.payload),
+                latency_us=self.ack_latency_us,
+            )
+
+        self.env.schedule_at(self.busy_until, complete, name="service")
+
+    def finish(self) -> dict:
+        return {"served": self.served, "busy_until_us": self.busy_until}
+
+
+def build_host(spec: PartitionSpec) -> HostHarness:
+    return HostHarness(spec)
+
+
+def build_ni(spec: PartitionSpec) -> NIHarness:
+    return NIHarness(spec)
+
+
+def hostni_specs(
+    n_frames: int = 50,
+    period_us: float = 1_000.0,
+    service_us: float = 700.0,
+    lookahead_us: float = PCI_LOOKAHEAD_US,
+) -> list[PartitionSpec]:
+    """The 2-partition host/NI split at the PCI bridge seam."""
+    return [
+        PartitionSpec(
+            index=HOST,
+            name="host-complex",
+            builder="repro.pdes.hostni:build_host",
+            lookahead_us=lookahead_us,
+            config={"n_frames": n_frames, "period_us": period_us},
+        ),
+        PartitionSpec(
+            index=NI,
+            name="ni-complex",
+            builder="repro.pdes.hostni:build_ni",
+            lookahead_us=lookahead_us,
+            config={"service_us": service_us},
+        ),
+    ]
+
+
+def run_hostni(
+    n_frames: int = 50,
+    period_us: float = 1_000.0,
+    service_us: float = 700.0,
+    until: Optional[float] = None,
+    workers: Optional[int] = None,
+) -> dict:
+    """Run the host/NI split; returns the coordinator's canonical result."""
+    from .coordinator import run_partitioned
+
+    specs = hostni_specs(n_frames, period_us, service_us)
+    horizon = until if until is not None else (n_frames + 5) * period_us
+    return run_partitioned(specs, until=horizon, workers=workers)

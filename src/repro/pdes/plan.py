@@ -1,0 +1,372 @@
+"""Partition plans: the existing experiment suite, fanned and reassembled.
+
+The event-level coordinator (:mod:`repro.pdes.coordinator`) partitions
+*one kernel*; this module partitions *one experiment*. Every headline
+experiment is a fixed sequence of independent full-duration simulation
+cells — load levels, chaos scenarios, media transports, cluster
+campaigns — and each cell is a deterministic seed-pinned evaluation, so
+a partitioned run executes the cells on :class:`~repro.parallel.runner.
+SweepRunner` workers (cache disabled — a partitioned run must recompute)
+and reassembles the fragments in the fixed serial order.
+
+The contract, enforced by the golden-digest oracle:
+
+* ``rows``, ``series``, ``notes`` — byte-identical to the serial run,
+  whatever worker count executed the cells;
+* ``footers`` — deterministic, but allowed to describe the partitioned
+  assembly (footers are exempt from the digest by design).
+
+Experiments with no registered plan (the microsecond-scale tables, the
+single-run observability demo) fall back to a single-unit plan: the
+whole experiment computed in one worker and round-tripped through the
+canonical result serialization — the same fidelity proof, no fan-out.
+``pdescluster`` never lands here: its ``partitions`` axis selects the
+event-level executor inside one run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.report import ExperimentResult
+
+__all__ = ["Unit", "Plan", "plans", "plan_axes", "run_plan"]
+
+
+@dataclass(frozen=True)
+class Unit:
+    """One independent cell of a partitioned experiment."""
+
+    name: str
+    experiment: str  # REGISTRY id or module:callable (Job convention)
+    config: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A partitioned execution recipe for one experiment."""
+
+    experiment: str
+    #: the independence axis the plan cuts along (shown by --list)
+    axis: str
+    units: tuple
+    #: reassembles worker fragments into the final result; runs in the
+    #: coordinating process, so it is a plain callable
+    assemble: Callable
+
+
+def _assemble_concat(exp_id: str, title_fmt: str, notes: tuple = ()):
+    """Generic assemble: concatenate fragment rows/series in unit order."""
+
+    def assemble(fragments, ctx) -> "ExperimentResult":
+        from repro.experiments.report import ExperimentResult
+
+        result = ExperimentResult(
+            exp_id=exp_id, title=title_fmt.format(seed=ctx["seed"])
+        )
+        for frag in fragments:
+            result.rows.extend(frag.rows)
+            result.series.extend(frag.series)
+            result.footers.extend(frag.footers)
+        for note in notes:
+            result.notes.append(note)
+        result.footers.append(
+            f"assembled from {len(fragments)} partitioned cells"
+        )
+        return result
+
+    return assemble
+
+
+def _chaos_plan() -> Plan:
+    from repro.faults import SCENARIOS
+
+    names = list(SCENARIOS)
+    note_windows = "fault windows per scenario: " + ", ".join(
+        f"{n}=[{SCENARIOS[n].start_frac:.2f},{SCENARIOS[n].end_frac:.2f}]xT"
+        for n in names
+    )
+    return Plan(
+        experiment="chaos",
+        axis=f"chaos scenario ({len(names)} cells)",
+        units=tuple(
+            Unit(name, "chaos", {"scenarios": [name]}) for name in names
+        ),
+        assemble=_assemble_concat(
+            "Chaos",
+            "Fault injection against the NI configuration (seed {seed})",
+            notes=(
+                note_windows,
+                "deterministic: identical seed => identical rows (plane "
+                "draws from named substreams only while a fault window is "
+                "active)",
+            ),
+        ),
+    )
+
+
+def _failover_plan() -> Plan:
+    from repro.faults.scenarios import FAILOVER_SCENARIOS
+
+    names = list(FAILOVER_SCENARIOS)
+    units = [Unit("control", "failover", {"scenarios": []})]
+    units += [
+        Unit(name, "failover", {"scenarios": [name], "include_control": False})
+        for name in names
+    ]
+    return Plan(
+        experiment="failover",
+        axis=f"failover campaign (control + {len(names)} cells)",
+        units=tuple(units),
+        assemble=_assemble_concat(
+            "Failover",
+            "NI failover: detection, migration, recovery (seed {seed})",
+            notes=(
+                "detection budget = K·heartbeat interval + grace "
+                "(card-crash detection latency must sit inside it)",
+                "deterministic: identical seed => identical migration "
+                "order, detection time, and violation counts",
+            ),
+        ),
+    )
+
+
+def _cluster_plan() -> Plan:
+    from repro.cluster import CLUSTER_SCENARIOS
+
+    names = list(CLUSTER_SCENARIOS)
+    units = [Unit("control", "cluster", {"scenarios": []})]
+    units += [
+        Unit(name, "cluster", {"scenarios": [name], "include_control": False})
+        for name in names
+    ]
+    return Plan(
+        experiment="cluster",
+        axis=f"cluster campaign (control + {len(names)} cells)",
+        units=tuple(units),
+        assemble=_assemble_concat(
+            "Cluster",
+            "cluster front door: 3 nodes, policy least-loaded, "
+            "node-loss chaos (seed {seed})",
+            notes=(
+                "zero unaccounted: every stream ends placed, parked, or "
+                "lost — 'streams unaccounted' rows must read 0",
+                "at-most-once placement: an admit whose every retry timed "
+                "out is rescinded before any other node is tried; "
+                "unresolvable rescinds park",
+                "deterministic: identical seed => identical placement, "
+                "detection, and accounting rows (byte-identical across "
+                "--jobs fan-out)",
+            ),
+        ),
+    )
+
+
+def _transport_plan() -> Plan:
+    from repro.net.transport import VALID_TRANSPORTS
+
+    names = list(VALID_TRANSPORTS)
+    return Plan(
+        experiment="transport",
+        axis=f"media transport ({len(names)} cells)",
+        units=tuple(
+            Unit(name, "transport", {"transports": [name]}) for name in names
+        ),
+        assemble=_assemble_concat(
+            "Transport",
+            "Media transport comparison at 60% web load (seed {seed})",
+            notes=(
+                "udp is the shipped raw-frame path; tcp/ttp carry each "
+                "frame as one reliable record between the serving port and "
+                "its client",
+                "transport stacks charge their own per-packet protocol "
+                "costs on top of the service's transmit-side stack charge",
+                "deterministic: identical seed => identical rows across "
+                "double runs",
+            ),
+        ),
+    )
+
+
+def _figure_levels_plan(exp_id: str, name: str, levels: tuple, title: str, note: str) -> Plan:
+    return Plan(
+        experiment=name,
+        axis=f"load level ({len(levels)} cells)",
+        units=tuple(
+            Unit(level, name, {"levels": [level]}) for level in levels
+        ),
+        assemble=_assemble_concat(exp_id, title, notes=(note,)),
+    )
+
+
+def _figure9_plan() -> Plan:
+    from repro.experiments.figures import FIGURE9_LEVELS, assemble_figure9
+
+    return Plan(
+        experiment="figure9",
+        axis=f"load level ({len(FIGURE9_LEVELS)} cells)",
+        units=tuple(
+            Unit(
+                level,
+                "repro.experiments.figures:figure9_cell",
+                {"level": level},
+            )
+            for level in FIGURE9_LEVELS
+        ),
+        assemble=lambda fragments, ctx: assemble_figure9(fragments),
+    )
+
+
+def _figure10_plan() -> Plan:
+    from repro.experiments.figures import FIGURE10_LEVELS, assemble_figure10
+
+    return Plan(
+        experiment="figure10",
+        axis=f"load level ({len(FIGURE10_LEVELS)} cells)",
+        units=tuple(
+            Unit(
+                level,
+                "repro.experiments.figures:figure10_cell",
+                {"level": level},
+            )
+            for level in FIGURE10_LEVELS
+        ),
+        assemble=lambda fragments, ctx: assemble_figure10(fragments),
+    )
+
+
+def plans() -> dict[str, Plan]:
+    """Every registered partition plan, keyed by experiment id.
+
+    Built lazily: the axis values are read off the authoritative
+    registries (scenario tables, transport set, load profiles) so a plan
+    can never enumerate a cell the serial experiment would not run.
+    """
+    out = {
+        "chaos": _chaos_plan(),
+        "failover": _failover_plan(),
+        "cluster": _cluster_plan(),
+        "transport": _transport_plan(),
+        "figure9": _figure9_plan(),
+        "figure10": _figure10_plan(),
+    }
+    for name, exp_id, title, note in (
+        (
+            "figure6",
+            "Figure 6",
+            "CPU Utilization Variation with Server Load",
+            "the 60% profile bursts past 80% utilization in its 40-80s "
+            "window, matching the paper's trace",
+        ),
+        (
+            "figure7",
+            "Figure 7",
+            "Bandwidth Distribution with Load Variation (host DWCS)",
+            "who-wins shape: no-load > 45% > 60%; worst case bounded at "
+            "half by the streams' 1/2 loss-tolerance",
+        ),
+        (
+            "figure8",
+            "Figure 8",
+            "Queuing Delay vs Frames Sent with Load Variation (host DWCS)",
+            "delays ramp with backlog; load multiplies the ramp",
+        ),
+    ):
+        out[name] = _figure_levels_plan(
+            exp_id, name, ("none", "45%", "60%"), title, note
+        )
+    return out
+
+
+def plan_axes() -> dict[str, str]:
+    """experiment id -> human description of its partition axis."""
+    return {name: plan.axis for name, plan in sorted(plans().items())}
+
+
+def _run_units_inline(jobs) -> list:
+    """Run unit jobs in-process through the worker code path.
+
+    Used when worker processes cannot be spawned (inside a daemonic
+    sweep worker). The result still round-trips the canonical dict
+    serialization — the exact fidelity the process fan-out relies on —
+    so the assembled bytes are identical.
+    """
+    from repro.parallel.worker import run_job
+
+    payloads = []
+    for job in jobs:
+        out = run_job({"job": job.canonical()})
+        payloads.append(out)
+    return payloads
+
+
+def run_plan(
+    experiment: str,
+    seed: int = 42,
+    duration_us: Optional[float] = None,
+    partitions: int = 2,
+    **overrides,
+) -> "ExperimentResult":
+    """Execute one experiment's partition plan on worker processes.
+
+    ``partitions`` is the worker-process count (the cells themselves are
+    the fixed decomposition). Extra keyword ``overrides`` force the
+    single-unit fallback — a plan's cell list is only valid for the
+    experiment's default axis values.
+    """
+    import multiprocessing
+
+    from repro.experiments.report import ExperimentResult
+
+    if not isinstance(partitions, int) or partitions < 1:
+        raise ValueError(
+            f"partitions must be a positive worker count, got "
+            f"{partitions!r}; use 1..N processes (or omit the flag for "
+            "the serial path)"
+        )
+    from repro.parallel import Job, SweepRunner
+
+    plan = None if overrides else plans().get(experiment)
+    if plan is None:
+        units = (Unit("whole", experiment, dict(overrides)),)
+        assemble = None
+    else:
+        units = plan.units
+        assemble = plan.assemble
+    jobs = [
+        Job(
+            experiment=u.experiment,
+            seed=seed,
+            duration_us=duration_us,
+            config=u.config,
+        )
+        for u in units
+    ]
+    if multiprocessing.current_process().daemon:
+        payloads = _run_units_inline(jobs)
+        failures = [
+            (jobs[i].label, p.get("error")) for i, p in enumerate(payloads) if not p.get("ok")
+        ]
+        if failures:
+            raise RuntimeError(
+                "partitioned cells failed: "
+                + "; ".join(f"{label} ({err})" for label, err in failures)
+            )
+        fragments = [ExperimentResult.from_dict(p["result"]) for p in payloads]
+    else:
+        report = SweepRunner(
+            workers=min(partitions, len(jobs)), cache=None
+        ).run(jobs)
+        failed = [o for o in report.outcomes if not o.ok]
+        if failed:
+            raise RuntimeError(
+                "partitioned cells failed: "
+                + "; ".join(f"{o.job.label} ({o.error})" for o in failed)
+            )
+        # the runner already rebuilt each result from its canonical dict
+        fragments = [o.result for o in report.outcomes]
+    if assemble is None:
+        return fragments[0]
+    return assemble(fragments, {"seed": seed, "duration_us": duration_us})

@@ -139,6 +139,9 @@ class Environment:
         self.obs = None
         #: fault-injection hook slot (:class:`~repro.faults.FaultPlane`)
         self.fault_plane = None
+        #: components that cached the hook slots above and need a re-resolve
+        #: whenever a plane binds or unbinds (see :meth:`hooks_changed`)
+        self._hook_watchers: list[Callable[["Environment"], None]] = []
         # Shadow the factory methods with C-level partials: event/timeout/
         # process are called hundreds of thousands of times per run, and the
         # pure-Python wrapper frame is measurable. The methods below remain
@@ -194,6 +197,50 @@ class Environment:
         ev = Timeout(self, delay, name=name)
         ev.callbacks.append(lambda _e: callback())
         return ev
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = NORMAL,
+        name: Optional[str] = None,
+    ) -> Event:
+        """Run *callback* at absolute simulated *time* (``>= now``).
+
+        The cross-partition injection point: a partitioned run
+        (:mod:`repro.pdes`) delivers a peer's timestamped message by
+        scheduling its local effect at the message's delivery time, with
+        an explicit *priority* so delivery order against same-tick local
+        events is pinned. Scheduling into the past raises — this is the
+        hard causality guard the PDES coordinator leans on.
+        """
+        delay = time - self.now
+        if delay < 0:
+            raise SimulationError(
+                f"schedule_at(t={time}) is in the past (now={self.now})"
+            )
+        ev = Event(self, name=name)
+        ev.callbacks.append(lambda _e: callback())
+        self._schedule_event(ev, delay, priority)
+        return ev
+
+    # -- hook-slot watchers --------------------------------------------------
+    def add_hook_watcher(self, callback: Callable[["Environment"], None]) -> None:
+        """Register *callback* to re-run whenever a plane binds or unbinds.
+
+        Hot-path components may cache ``env.obs`` / ``env.fault_plane``
+        into instance slots at construction (one attribute load per packet
+        instead of two). Planes can be installed *after* construction
+        (chaos runs build the fault plane once the stacks exist), so every
+        such component registers a watcher and re-resolves its cached
+        slots on :meth:`hooks_changed`.
+        """
+        self._hook_watchers.append(callback)
+
+    def hooks_changed(self) -> None:
+        """Notify watchers that ``env.obs``/``env.fault_plane`` changed."""
+        for cb in self._hook_watchers:
+            cb(self)
 
     # -- run loop -------------------------------------------------------------
     def peek(self) -> float:

@@ -1,0 +1,116 @@
+"""Plan layer, sweep partition axis, and bench critical-path arithmetic."""
+
+import pytest
+
+from repro.experiments.bench import (
+    PARTITION_TARGET_SPEEDUP,
+    critical_path_seconds,
+    run_partition_bench,
+)
+from repro.experiments.golden import (
+    SHORT_DURATION_US,
+    load_goldens,
+    result_digest,
+)
+from repro.experiments.sweep import parse_partition_axis
+from repro.pdes.plan import plan_axes, plans, run_plan
+
+
+# -- plans --------------------------------------------------------------------
+
+
+def test_every_headline_campaign_has_a_partition_plan():
+    registered = plans()
+    for name in (
+        "figure9", "figure10", "chaos", "failover", "cluster", "transport",
+        "figure6", "figure7", "figure8",
+    ):
+        assert name in registered, name
+        plan = registered[name]
+        assert plan.units, name
+        assert plan.axis  # --list prints the independence axis
+
+
+def test_plan_axes_describe_cell_counts():
+    axes = plan_axes()
+    assert set(axes) == set(plans())
+    assert all("cell" in axis for axis in axes.values())
+
+
+@pytest.mark.parametrize("bad", [0, -3, 1.5, "2"])
+def test_run_plan_rejects_non_positive_worker_counts(bad):
+    with pytest.raises(ValueError, match="positive worker count"):
+        run_plan("figure9", partitions=bad)
+
+
+def test_partitioned_figure9_reproduces_the_pinned_short_golden():
+    """The fan-out/reassemble path must land on the serially-pinned bytes."""
+    pinned = load_goldens().get("short", {}).get("digests", {}).get("figure9")
+    if pinned is None:
+        pytest.skip("no pinned short goldens in this checkout")
+    result = run_plan("figure9", seed=42, duration_us=SHORT_DURATION_US, partitions=2)
+    assert result_digest(result) == pinned
+
+
+# -- sweep partition axis -----------------------------------------------------
+
+
+def test_parse_partition_axis_accepts_serial_and_worker_counts():
+    assert parse_partition_axis(["serial", "2", "8"]) == [None, 2, 8]
+    assert parse_partition_axis([]) == []
+
+
+@pytest.mark.parametrize("token", ["0", "-1", "two", "parallel", ""])
+def test_parse_partition_axis_names_the_offending_token(token):
+    with pytest.raises(ValueError) as err:
+        parse_partition_axis(["serial", token])
+    assert f"unknown partition-axis value {token!r}" in str(err.value)
+    assert "'serial' or a positive worker count" in str(err.value)
+
+
+# -- bench critical path ------------------------------------------------------
+
+
+def test_partition_speedup_target_is_pinned():
+    assert PARTITION_TARGET_SPEEDUP == 1.3
+
+
+def test_critical_path_folds_overlap_and_recovers_coordinator_share():
+    timing = {
+        "wall_s": 10.0,
+        "startup_s": 2.0,
+        "worker_build_cpu_s": {0: 1.0, 1: 3.0},
+        "worker_cpu_s": {0: 2.0, 1: 4.0},
+    }
+    critical, coord = critical_path_seconds(timing)
+    # coordinator share: wall - startup - SUM(window cpu) = 10 - 2 - 6
+    assert coord == pytest.approx(2.0)
+    # critical path: MAX bring-up + MAX window + coordinator = 3 + 4 + 2
+    assert critical == pytest.approx(9.0)
+
+
+def test_critical_path_clamps_negative_coordinator_share():
+    # workers genuinely overlapped: wall < startup + sum(cpu)
+    timing = {
+        "wall_s": 4.0,
+        "startup_s": 1.0,
+        "worker_build_cpu_s": {0: 0.5, 1: 0.5},
+        "worker_cpu_s": {0: 2.0, 1: 2.0},
+    }
+    critical, coord = critical_path_seconds(timing)
+    assert coord == 0.0
+    assert critical == pytest.approx(0.5 + 2.0)
+
+
+def test_critical_path_degrades_to_serial_shape_without_worker_data():
+    # a serial run reports no per-worker CPU: critical path == wall
+    timing = {"wall_s": 7.0, "startup_s": 0.0}
+    critical, coord = critical_path_seconds(timing)
+    assert coord == pytest.approx(7.0)
+    assert critical == pytest.approx(7.0)
+
+
+@pytest.mark.parametrize("bad", [0, -2])
+def test_partition_bench_rejects_non_positive_worker_counts(bad):
+    with pytest.raises(ValueError, match="positive worker count"):
+        run_partition_bench(bad)
